@@ -1,0 +1,89 @@
+"""E2 — the §4.1 AG-statistics table.
+
+The paper reports, for the two cascaded grammars::
+
+                     VHDL AG   expr AG
+    productions        503       160
+    symbols            355       101
+    attributes        3509       446
+    rules(implicit)   8862(6363) 2132(1061)
+    max visits           3         4
+
+We print the identical rows for our two AGs (plus the VIF-schema AG the
+footnote mentions).  Absolute sizes differ — ours is a subset compiler
+in a higher-level host language — but the *structure* must match: the
+principal AG several times larger than the expression AG, implicit
+rules a majority, and a small bounded visit count.
+"""
+
+from repro.ag import format_table
+from repro.vhdl.expr_grammar import expr_grammar
+from repro.vhdl.grammar import principal_grammar
+from repro.vif.schema_lang import schema_statistics
+
+PAPER = {
+    "vhdl": {"productions": 503, "symbols": 355, "attributes": 3509,
+             "rules": 8862, "implicit_rules": 6363, "max_visits": 3},
+    "expr": {"productions": 160, "symbols": 101, "attributes": 446,
+             "rules": 2132, "implicit_rules": 1061, "max_visits": 4},
+}
+
+
+def collect():
+    return (
+        principal_grammar().statistics(),
+        expr_grammar().statistics(),
+        schema_statistics(),
+    )
+
+
+def test_ag_statistics_table(benchmark):
+    vhdl, expr, schema = benchmark(collect)
+    print()
+    print("=== E2 / section 4.1 table: AG statistics ===")
+    print(format_table([vhdl, expr, schema]))
+    print()
+    print("paper: VHDL AG 503/355/3509/8862(6363)/3,"
+          " expr AG 160/101/446/2132(1061)/4")
+
+    # Shape assertions against the paper's structure:
+    # - the principal AG dominates the expression AG in every measure;
+    assert vhdl.productions > expr.productions
+    assert vhdl.symbols > expr.symbols
+    assert vhdl.attributes > expr.attributes
+    assert vhdl.rules > expr.rules
+    # - implicit rules are "more than half of all the rules" for the
+    #   principal AG (paper: 72%; expr AG: 50%);
+    assert vhdl.implicit_fraction > 0.5
+    assert expr.implicit_fraction >= 0.5
+    # - visit counts are small and bounded, as in the paper (3 and 4);
+    assert vhdl.max_visits is not None and vhdl.max_visits <= 4
+    assert expr.max_visits is not None and expr.max_visits <= 4
+    # - both grammars are respectable sizes ("on the order of a simple
+    #   AG for Pascal" for the expression AG).
+    assert vhdl.productions >= 200
+    assert expr.productions >= 60
+
+    benchmark.extra_info["vhdl"] = vhdl.as_dict()
+    benchmark.extra_info["expr"] = expr.as_dict()
+
+
+def test_visit_distribution(benchmark):
+    """Footnote 7: 'Most symbols are only visited once; only a
+    half-dozen symbols out of 355 are visited 3 times.'"""
+
+    def distribution():
+        analysis = principal_grammar().analyze()
+        dist = {}
+        for sym, visits in analysis.visits.items():
+            dist[visits] = dist.get(visits, 0) + 1
+        return dist
+
+    dist = benchmark(distribution)
+    print()
+    print("=== visit-count distribution (principal AG) ===")
+    for v in sorted(dist):
+        print("  %d visit(s): %3d symbols" % (v, dist[v]))
+    # Most symbols single-visit, a small tail with more.
+    assert dist.get(1, 0) > sum(
+        n for v, n in dist.items() if v > 1)

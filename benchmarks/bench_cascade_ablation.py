@@ -1,0 +1,97 @@
+"""E8 — §4.1 ablation: cascaded evaluation versus united productions.
+
+The paper first tried "uniting the conflicting productions into a
+single production" and abandoned it: "the united production(s)
+constitute a special case of other productions ... and cause parsing
+conflicts with them; indeed, these productions are ambiguous".
+
+We build the united-production expression grammar they describe — one
+``name ::= ID`` production feeding calls, indexes, and conversions —
+and count the LALR conflicts it creates, against the cascaded design
+(distinct LEF token kinds) which builds conflict-free.
+"""
+
+from repro.ag import AGSpec, ConflictError, SYN
+from repro.vhdl.expr_grammar import expr_grammar
+
+
+def united_grammar():
+    """The rejected design: ID is one token, phrase structures merged.
+
+    ``name ::= ID`` together with ``func_ref ::= name ( args )``,
+    ``indexed ::= name ( subscripts )`` and ``conv ::= name ( expr )``
+    — the exact production family of §4.1.
+    """
+    g = AGSpec("united_expr")
+    g.terminals("ID", "NUM", "LP", "RP", "COMMA", "PLUS")
+    g.attr_class("SEM", SYN, merge=lambda a, b: None, unit=None)
+    for nt in ("e", "name", "func_ref", "indexed", "conv", "args",
+               "arg", "subscripts"):
+        g.nonterminal(nt, "SEM")
+    g.set_start("e")
+    prods = [
+        ("e_name", "e -> name"),
+        ("e_func", "e -> func_ref"),
+        ("e_index", "e -> indexed"),
+        ("e_conv", "e -> conv"),
+        ("e_num", "e -> NUM"),
+        ("e_add", "e -> e0 PLUS e1"),
+        ("name_id", "name -> ID"),
+        ("func_ref", "func_ref -> name LP args RP"),
+        ("args_one", "args -> arg"),
+        ("args_more", "args -> args0 COMMA arg"),
+        ("arg_e", "arg -> e"),
+        ("indexed", "indexed -> name LP subscripts RP"),
+        ("subs_one", "subscripts -> e"),
+        ("subs_more", "subscripts -> subscripts0 COMMA e"),
+        ("conv", "conv -> name LP e RP"),
+    ]
+    for label, text in prods:
+        g.production(label, text)
+    return g
+
+
+def measure():
+    united = united_grammar()
+    try:
+        united.finish(allow_conflicts=True)
+        compiled = united._finished
+        conflicts = compiled.tables.conflicts
+    except ConflictError as exc:  # pragma: no cover - defensive
+        conflicts = exc.conflicts
+        compiled = None
+    cascaded = expr_grammar()
+    unresolved_cascaded = [
+        c for c in cascaded.tables.conflicts if c.resolution is None
+    ]
+    default_resolved_cascaded = [
+        c for c in cascaded.tables.conflicts
+        if c.resolution == "default"
+    ]
+    return {
+        "united_conflicts": len(conflicts),
+        "united_rr": sum(1 for c in conflicts
+                         if c.kind == "reduce/reduce"),
+        "cascaded_unresolved": len(unresolved_cascaded),
+        "cascaded_default": len(default_resolved_cascaded),
+        "cascaded_productions": cascaded.statistics().productions,
+    }
+
+
+def test_united_productions_conflict(benchmark):
+    m = benchmark(measure)
+    print()
+    print("=== E8 / section 4.1: united productions vs cascading ===")
+    print("  united-production toy grammar: %d LALR conflicts "
+          "(%d reduce/reduce) — 'indeed, these productions are "
+          "ambiguous'" % (m["united_conflicts"], m["united_rr"]))
+    print("  cascaded expression AG: %d productions, %d unresolved "
+          "conflicts, %d yacc-default resolutions"
+          % (m["cascaded_productions"], m["cascaded_unresolved"],
+             m["cascaded_default"]))
+    # The rejected design conflicts; the shipped design does not.
+    assert m["united_conflicts"] > 0
+    assert m["united_rr"] > 0
+    assert m["cascaded_unresolved"] == 0
+    assert m["cascaded_default"] == 0
+    benchmark.extra_info.update(m)

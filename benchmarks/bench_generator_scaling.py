@@ -1,0 +1,126 @@
+"""E9 — §5.2: the monolithic-AG problem.
+
+"An attribute evaluator generator such as Linguist contains some
+expensive, non-linear algorithms buried in it.  This means that if AG1
+is twice as large as AG2 then AG1 will need more than twice as much
+time to be processed."
+
+We generate families of grammars of scaled size and time the full
+generator pipeline (implicit-rule completion, LALR table construction,
+ordered-AG analysis), confirming super-linear growth — the reason the
+paper wanted to decompose AGs and found cascading the only workable
+split.
+"""
+
+import time
+
+from repro.ag import AGSpec, SYN, INH
+
+
+def make_grammar(n_statements):
+    """A statement-language AG scaled by its statement count: each
+    statement kind brings its own productions, attributes, and rules —
+    the way a real language grammar grows."""
+    g = AGSpec("scaled_%d" % n_statements)
+    g.terminals("ID", "NUM", "SEMI", "LP", "RP")
+    kw = []
+    for i in range(n_statements):
+        t = "KW%d" % i
+        g.terminals(t)
+        kw.append(t)
+    g.attr_class("MSGS", SYN, merge=lambda a, b: a + b, unit=())
+    g.attr_class("ENV", INH)
+    g.nonterminal("prog", "MSGS", "ENV")
+    g.nonterminal("stmts", "MSGS", "ENV")
+    g.nonterminal("stmt", "MSGS", "ENV", ("CODE", SYN))
+    g.production("prog", "prog -> stmts")
+    g.production("stmts_empty", "stmts ->")
+    g.production("stmts_more", "stmts -> stmts0 stmt")
+    for i in range(n_statements):
+        nt = "b%d_body" % i
+        g.nonterminal(nt, "MSGS", "ENV", ("VAL", SYN))
+        p = g.production("stmt_%d" % i, "stmt -> KW%d %s SEMI" % (i, nt))
+        p.rule("stmt.CODE", "%s.VAL" % nt, fn=lambda v: v)
+        p = g.production("b%d_body_id" % i, "%s -> ID" % nt)
+        p.rule("%s.VAL" % nt, "ID.text", fn=lambda t: t)
+        p = g.production("b%d_body_num" % i, "%s -> NUM" % nt)
+        p.rule("%s.VAL" % nt, "NUM.value", fn=lambda v: v)
+        # Bodies can nest *any* statement — the couplings between
+        # productions are what make the generator's algorithms
+        # non-linear (lookahead relations and induced dependencies
+        # span the whole grammar).
+        p = g.production("b%d_body_nest" % i,
+                         "%s -> LP stmt RP" % nt)
+        p.rule("%s.VAL" % nt, "stmt.CODE", fn=lambda v: v)
+    return g
+
+
+def generate(n):
+    g = make_grammar(n)
+    compiled = g.finish()
+    compiled.analyze()  # dependency + ordered-AG phases included
+    return compiled
+
+
+def test_generator_time_superlinear(benchmark):
+    def measure():
+        rows = []
+        for n in (8, 16, 32, 64):
+            best = None
+            prods = 0
+            for _ in range(3):  # min-of-3 to tame timing noise
+                t0 = time.perf_counter()
+                compiled = generate(n)
+                dt = time.perf_counter() - t0
+                prods = compiled.statistics().productions
+                best = dt if best is None else min(best, dt)
+            rows.append((n, prods, best))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print()
+    print("=== E9 / section 5.2: generator cost vs AG size ===")
+    print("  %6s %12s %12s %14s" % ("kinds", "productions",
+                                    "time", "ms/production"))
+    for n, prods, dt in rows:
+        print("  %6d %12d %9.1f ms %11.3f ms"
+              % (n, prods, dt * 1e3, dt * 1e3 / prods))
+    # Doubling the grammar more than doubles generation time (the
+    # paper's phrasing verbatim): compare first and last per-production
+    # cost.
+    first = rows[0][2] / rows[0][1]
+    last = rows[-1][2] / rows[-1][1]
+    print("  per-production cost grew %.1fx from %d to %d productions"
+          % (last / first, rows[0][1], rows[-1][1]))
+    # 4x the productions (16 -> 64 statement kinds) costs far more
+    # than 4x the time when the buried algorithms are non-linear.
+    assert rows[-1][2] > 4.5 * rows[1][2], (
+        "quadrupling the AG should much more than quadruple "
+        "generation time")
+    benchmark.extra_info["per_production_growth"] = round(
+        last / first, 2)
+
+
+def test_monolithic_regeneration_cost(benchmark):
+    """§5.2's practical pain: any change regenerates the whole
+    evaluator.  One full principal-AG generation, timed."""
+    import repro.vhdl.grammar as G
+
+    def regenerate():
+        # Bypass the cache: build a fresh AGSpec like a recompile.
+        g = AGSpec("vhdl_principal_rebuild")
+        G._declare_vocabulary(g)
+        G._soup_productions(g)
+        G._decl_productions(g)
+        G._stmt_productions(g)
+        G._cstmt_productions(g)
+        G._unit_productions(g)
+        return g.finish()
+
+    compiled = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    stats = compiled.statistics()
+    print()
+    print("  full principal-AG regeneration: %d productions, "
+          "%d states" % (stats.productions,
+                         compiled.tables.n_states))
+    assert stats.productions > 200

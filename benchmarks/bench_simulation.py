@@ -1,0 +1,119 @@
+"""E10 — simulation-kernel throughput.
+
+The paper's product was a *simulator*: the compiler's output runs on
+the four-module virtual machine.  This bench compiles a clocked design
+once and measures kernel throughput (simulation cycles per second,
+process resumptions, signal events) — the operational sanity check
+behind "a complete, tested, production-quality compiler that has
+compiled hundreds of thousands of lines of customer's VHDL models".
+"""
+
+from repro.vhdl.compiler import Compiler
+from repro.vhdl.elaborate import Elaborator
+
+NS = 10**6
+
+PIPELINE = """
+    entity stage is
+      port ( clk : in bit; din : in integer; dout : out integer );
+    end stage;
+    architecture rtl of stage is
+      signal hold : integer := 0;
+    begin
+      process (clk)
+      begin
+        if clk'event and clk = '1' then
+          hold <= (din + 1) mod 1000;
+        end if;
+      end process;
+      dout <= hold;
+    end rtl;
+
+    entity pipeline is end pipeline;
+    architecture top of pipeline is
+      component stage
+        port ( clk : in bit; din : in integer; dout : out integer );
+      end component;
+      signal clk : bit := '0';
+      signal d0 : integer := 0;
+      signal d1 : integer := 0;
+      signal d2 : integer := 0;
+      signal d3 : integer := 0;
+      signal d4 : integer := 0;
+    begin
+      clock : process
+      begin
+        clk <= not clk after 5 ns;
+        wait on clk;
+      end process;
+      s1 : stage port map ( clk => clk, din => d0, dout => d1 );
+      s2 : stage port map ( clk => clk, din => d1, dout => d2 );
+      s3 : stage port map ( clk => clk, din => d2, dout => d3 );
+      s4 : stage port map ( clk => clk, din => d3, dout => d4 );
+      feedback : d0 <= d4;
+    end top;
+"""
+
+
+def build():
+    compiler = Compiler(strict=False)
+    result = compiler.compile(PIPELINE)
+    assert result.ok, result.messages[:3]
+    return compiler.library
+
+
+def test_simulation_throughput(benchmark):
+    library = build()
+
+    def run_window():
+        sim = Elaborator(library).elaborate("pipeline")
+        sim.run(until_fs=2000 * NS)  # 2 us, 200 clock edges
+        return sim
+
+    sim = benchmark(run_window)
+    cycles = sim.kernel.cycles
+    mean_s = benchmark.stats.stats.mean
+    print()
+    print("=== E10: simulation kernel throughput ===")
+    print("  %d simulation cycles in 2 us of model time"
+          % cycles)
+    print("  %.0f cycles/second of wall time" % (cycles / mean_s))
+    print("  %d signals, %d processes"
+          % (len(sim.kernel.signals), len(sim.kernel.processes)))
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["cycles_per_sec"] = round(cycles / mean_s)
+    # The pipeline actually pipelines: values advanced through stages.
+    assert sim.value("d4") > 0
+    assert cycles > 300  # clock edges plus delta cycles
+
+
+def test_delta_cycle_cost(benchmark):
+    """Zero-delay chains: delta-cycle machinery under stress."""
+    from repro.sim import Kernel
+
+    def deep_chain():
+        k = Kernel()
+        sigs = [k.signal("s%d" % i, 0) for i in range(50)]
+        rt = k.rt
+
+        def feeder():
+            rt.assign(sigs[0], ((1, 0),))
+            yield rt.wait([], None, None)
+
+        def stage(i):
+            def proc():
+                while True:
+                    yield rt.wait([sigs[i]])
+                    rt.assign(sigs[i + 1], ((rt.read(sigs[i]), 0),))
+
+            return proc
+
+        k.process("feeder", feeder)
+        for i in range(len(sigs) - 1):
+            k.process("st%d" % i, stage(i))
+        k.run()
+        return k
+
+    k = benchmark(deep_chain)
+    assert k.signals[-1].value == 1
+    assert k.now == 0  # everything happened in delta cycles

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Cascaded evaluation with the AG toolkit itself (§4.1), outside VHDL.
+
+Builds a tiny "command language" the way the paper built its compiler:
+a *principal* AG that owns the symbol table and classifies identifiers
+into distinct tokens, cascading each expression to a separately
+generated *expression* AG.  The payoff is the paper's: ``x (y)`` parses
+as a function call or an array index depending on what ``x`` denotes —
+with two genuinely different phrase structures, not a semantic hack.
+
+Run:  python examples/cascaded_calculator.py
+"""
+
+from repro.ag import AGSpec, LexerSpec, SubEvaluator, SYN, INH, Token
+
+
+# --- the expression AG (the cascade target) --------------------------------
+
+def make_expr_ag():
+    g = AGSpec("calc_expr")
+    g.terminals("FUNC", "ARR", "NUM", "VAR", "PLUS", "TIMES", "LP", "RP")
+    g.precedence("left", "PLUS")
+    g.precedence("left", "TIMES")
+    g.nonterminal("e", ("val", SYN))
+    p = g.production("e_plus", "e -> e0 PLUS e1")
+    p.rule("e0.val", "e1.val", "e2.val", fn=lambda a, b: a + b)
+    p = g.production("e_times", "e -> e0 TIMES e1")
+    p.rule("e0.val", "e1.val", "e2.val", fn=lambda a, b: a * b)
+    p = g.production("e_num", "e -> NUM")
+    p.rule("e.val", "NUM.value", fn=lambda v: v)
+    p = g.production("e_var", "e -> VAR")
+    p.rule("e.val", "VAR.value", fn=lambda v: v)
+    # The §4.1 showcase: distinct phrase structures for x(y).
+    p = g.production("e_call", "e -> FUNC LP e RP")
+    p.rule("e0.val", "FUNC.value", "e1.val", fn=lambda f, x: f(x))
+    p = g.production("e_index", "e -> ARR LP e RP")
+    p.rule("e0.val", "ARR.value", "e1.val", fn=lambda a, i: a[i])
+    p = g.production("e_paren", "e -> LP e RP")
+    p.copy("e0.val", "e1.val")
+    return g.finish()
+
+
+# --- the principal AG -------------------------------------------------------
+
+def make_lexer():
+    lex = LexerSpec("cmd")
+    lex.skip(r"\s+")
+    lex.skip(r"#[^\n]*")
+    lex.token("NUM", r"\d+", action=int)
+    lex.token("ID", r"[a-z_]+")
+    lex.token("EQ", r"=")
+    lex.token("PLUS", r"\+")
+    lex.token("TIMES", r"\*")
+    lex.token("LP", r"\(")
+    lex.token("RP", r"\)")
+    lex.token("SEMI", r";")
+    lex.keywords("ID", ["let", "show"])
+    return lex.build()
+
+
+def classify(name, env, line):
+    """The principal AG's job: same source text, different LEF token."""
+    value = env.get(name)
+    if callable(value):
+        return Token("FUNC", name, value, line)
+    if isinstance(value, (list, tuple)):
+        return Token("ARR", name, value, line)
+    if value is None:
+        raise NameError("%r is not defined (line %d)" % (name, line))
+    return Token("VAR", name, value, line)
+
+
+def make_principal(expr_eval):
+    g = AGSpec("cmd")
+    g.terminals("NUM", "ID", "EQ", "PLUS", "TIMES", "LP", "RP", "SEMI",
+                "kw_let", "kw_show")
+    g.attr_class("OUT", SYN, merge=lambda a, b: a + b, unit=())
+    g.attr_class("LEF", SYN, merge=lambda a, b: a + b, unit=())
+
+    # The environment threads through statements (applicatively).
+    g.nonterminal("prog", "OUT", ("ENVI", INH), ("ENVO", SYN))
+    g.nonterminal("stmt", "OUT", ("ENVI", INH), ("ENVO", SYN))
+    g.nonterminal("soup", "LEF", ("ENVI", INH))
+    g.nonterminal("tok", "LEF", ("ENVI", INH))
+
+    p = g.production("prog_one", "prog -> stmt")
+    p.copy("stmt.ENVI", "prog.ENVI")
+    p.copy("prog.ENVO", "stmt.ENVO")
+    p = g.production("prog_more", "prog -> prog0 stmt")
+    p.copy("prog1.ENVI", "prog0.ENVI")
+    p.rule("stmt.ENVI", "prog1.ENVO", fn=lambda e: e)
+    p.copy("prog0.ENVO", "stmt.ENVO")
+
+    def eval_soup(lef):
+        return expr_eval(list(lef))["val"]
+
+    p = g.production("stmt_let", "stmt -> kw_let ID EQ soup SEMI")
+    p.copy("soup.ENVI", "stmt.ENVI")
+    p.rule("stmt.ENVO", "stmt.ENVI", "ID.text", "soup.LEF",
+           fn=lambda env, name, lef: {**env, name: eval_soup(lef)})
+    p = g.production("stmt_show", "stmt -> kw_show soup SEMI")
+    p.copy("soup.ENVI", "stmt.ENVI")
+    p.copy("stmt.ENVO", "stmt.ENVI")
+    p.rule("stmt.OUT", "soup.LEF", fn=lambda lef: (eval_soup(lef),))
+
+    p = g.production("soup_one", "soup -> tok")
+    p.copy("tok.ENVI", "soup.ENVI")
+    p = g.production("soup_more", "soup -> soup0 tok")
+    p.copy("soup1.ENVI", "soup0.ENVI")
+    p.copy("tok.ENVI", "soup0.ENVI")
+
+    p = g.production("tok_num", "tok -> NUM")
+    p.rule("tok.LEF", "NUM.value", "NUM.line",
+           fn=lambda v, ln: (Token("NUM", str(v), v, ln),))
+    p = g.production("tok_id", "tok -> ID")
+    p.rule("tok.LEF", "ID.text", "tok.ENVI", "ID.line",
+           fn=lambda name, env, ln: (classify(name, env, ln),))
+    for t in ("PLUS", "TIMES", "LP", "RP"):
+        p = g.production("tok_%s" % t.lower(), "tok -> %s" % t)
+        p.rule("tok.LEF", "%s.text" % t, "%s.line" % t,
+               fn=(lambda k=t: lambda s, ln: (Token(k, s, s, ln),))())
+    return g.finish()
+
+
+PROGRAM = """
+# x(y) means *call* here, because x is bound to a function ...
+let double = 7;            # just a number for now
+show double * 2;           # 14
+
+let table = 5;             # rebinding happens applicatively
+show table + 1;            # 6
+show table * (table + 1);  # 30
+"""
+
+
+def main():
+    expr = SubEvaluator(make_expr_ag(), goals=["val"])
+    principal = make_principal(expr)
+    lexer = make_lexer()
+
+    out = principal.run(lexer.scan(PROGRAM), inherited={"ENVI": {}})
+    print("program output:", list(out["OUT"]))
+    assert list(out["OUT"]) == [14, 6, 30]
+
+    # Now the §4.1 punchline, with *identical* source text "x (2)":
+    env_fn = {"x": lambda v: v + 100}
+    env_arr = {"x": [9, 8, 7]}
+    text = [classify("x", env_fn, 1), Token("LP", "("),
+            Token("NUM", "2", 2), Token("RP", ")")]
+    print("x(2) with x a function ->", expr(text)["val"])
+    text = [classify("x", env_arr, 1), Token("LP", "("),
+            Token("NUM", "2", 2), Token("RP", ")")]
+    print("x(2) with x an array   ->", expr(text)["val"])
+    print("expression AG invocations:", expr.invocations)
+
+    stats = make_expr_ag().statistics()
+    print("\nexpression AG:", stats.as_dict())
+
+
+if __name__ == "__main__":
+    main()

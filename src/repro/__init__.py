@@ -1,0 +1,25 @@
+"""Reproduction of Farrow & Stanculescu, "A VHDL Compiler Based on
+Attribute Grammar Methodology" (PLDI 1989).
+
+The package is organized as the paper's system was:
+
+- :mod:`repro.ag` — an attribute-grammar translator-writing system (the
+  role Linguist(TM) played): LALR(1) parser generation, attribute classes
+  with implicit semantic rules, dependency analysis, ordered-AG visit
+  sequences, and cascaded evaluation.
+- :mod:`repro.applicative` — persistent (applicative) data structures used
+  for the symbol table, after Myers.
+- :mod:`repro.vif` — the VHDL Intermediate Format: a declarative schema
+  notation (itself processed by an AG), a code generator for access
+  functions, serialization with foreign-reference resolution, and a
+  human-readable dump.
+- :mod:`repro.vhdl` — the VHDL compiler proper, written as two attribute
+  grammars (a principal AG and an expression AG connected by cascaded
+  evaluation over LEF token lists).
+- :mod:`repro.sim` — the target virtual machine: simulation kernel,
+  runtime support, VHDL I/O, and name server.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["ag", "applicative", "vif", "vhdl", "sim"]

@@ -1,0 +1,71 @@
+"""An attribute-grammar translator-writing system.
+
+This package plays the role the commercial Linguist(TM) system played
+in the paper: from a declarative grammar-plus-attribution specification
+it generates a scanner, an LALR(1) parser, and an attribute evaluator,
+supplying implicit semantic rules for attribute-class occurrences and
+supporting cascaded evaluation of sub-grammars.
+
+Typical use::
+
+    from repro.ag import AGSpec, SYN, INH
+
+    g = AGSpec("calc")
+    g.terminals("NUM", "PLUS")
+    g.nonterminal("expr", ("val", SYN))
+    p = g.production("expr_add", "expr -> expr0 PLUS expr1")
+    p.rule("expr0.val", "expr1.val", "expr2.val",
+           fn=lambda a, b: a + b)
+    ...
+    calc = g.finish()
+    print(calc.run(tokens)["val"])
+"""
+
+from .attributes import SYN, INH, AttributeClass
+from .cascade import SubEvaluator
+from .errors import (
+    AGError,
+    AttributeError_,
+    CircularityError,
+    ConflictError,
+    EvaluationError,
+    GrammarError,
+    LexError,
+    NotOrderedError,
+    ParseError,
+)
+from .evaluator import DynamicEvaluator, evaluate_tree
+from .lexer import LexerSpec, Lexer, ListScanner, Token
+from .ordered import OrderedAnalysis
+from .spec import AGSpec, CompiledAG
+from .static_eval import StaticEvaluator
+from .stats import GrammarStatistics, format_table, grammar_statistics
+
+__all__ = [
+    "AGSpec",
+    "AGError",
+    "AttributeClass",
+    "AttributeError_",
+    "CircularityError",
+    "CompiledAG",
+    "ConflictError",
+    "DynamicEvaluator",
+    "EvaluationError",
+    "GrammarError",
+    "GrammarStatistics",
+    "INH",
+    "LexError",
+    "Lexer",
+    "LexerSpec",
+    "ListScanner",
+    "NotOrderedError",
+    "OrderedAnalysis",
+    "ParseError",
+    "StaticEvaluator",
+    "SubEvaluator",
+    "SYN",
+    "Token",
+    "evaluate_tree",
+    "format_table",
+    "grammar_statistics",
+]

@@ -1,0 +1,111 @@
+"""Attribute declarations and attribute classes.
+
+An *attribute class* (§4.2) is "declared and instances of a class can
+be associated with various symbols, just as attributes are associated
+with symbols"; when a required definition is omitted, the generator
+supplies an implicit rule — a copy rule, a unit-element constant, or a
+fold over a declared associative merge-function.
+"""
+
+from .errors import AttributeError_
+
+#: Attribute kinds.
+SYN = "syn"
+INH = "inh"
+
+#: Pseudo-attributes of terminal occurrences, read straight off tokens.
+LEXICAL_ATTRS = ("text", "value", "line", "column", "kind")
+
+
+class AttributeClass:
+    """A reusable attribute declaration with implicit-rule information.
+
+    ``merge`` is the associative dyadic merge-function ``m`` and
+    ``unit`` the unit-element ``u`` of §4.2 (both only meaningful for
+    synthesized classes).  ``copy`` enables plain copy rules; it is on
+    by default because copy rules apply to both kinds.
+    """
+
+    __slots__ = ("name", "kind", "merge", "unit", "copy")
+
+    _UNSET = object()
+
+    def __init__(self, name, kind, merge=None, unit=_UNSET, copy=True):
+        if kind not in (SYN, INH):
+            raise AttributeError_("bad attribute kind %r" % kind)
+        if kind == INH and (merge is not None or unit is not self._UNSET):
+            raise AttributeError_(
+                "attribute class %r: merge/unit apply only to "
+                "synthesized classes" % name
+            )
+        self.name = name
+        self.kind = kind
+        self.merge = merge
+        self.unit = unit
+        self.copy = copy
+
+    @property
+    def has_unit(self):
+        return self.unit is not self._UNSET
+
+    def __repr__(self):
+        return "<AttributeClass %s %s>" % (self.name, self.kind)
+
+
+class AttrDecl:
+    """One attribute associated with one (nonterminal) symbol.
+
+    ``cls`` is the :class:`AttributeClass` it instantiates, or ``None``
+    for a plain attribute (which then never receives implicit rules).
+    """
+
+    __slots__ = ("name", "kind", "symbol", "cls")
+
+    def __init__(self, name, kind, symbol, cls=None):
+        if kind not in (SYN, INH):
+            raise AttributeError_("bad attribute kind %r" % kind)
+        self.name = name
+        self.kind = kind
+        self.symbol = symbol
+        self.cls = cls
+
+    def __repr__(self):
+        return "<Attr %s.%s %s>" % (self.symbol.name, self.name, self.kind)
+
+
+class AttrTable:
+    """Attribute declarations for all symbols of one grammar."""
+
+    def __init__(self):
+        self._by_symbol = {}  # symbol name -> {attr name: AttrDecl}
+
+    def declare(self, symbol, name, kind, cls=None):
+        table = self._by_symbol.setdefault(symbol.name, {})
+        existing = table.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise AttributeError_(
+                    "attribute %s.%s redeclared with different kind"
+                    % (symbol.name, name)
+                )
+            return existing
+        decl = AttrDecl(name, kind, symbol, cls)
+        table[name] = decl
+        return decl
+
+    def get(self, symbol, name):
+        return self._by_symbol.get(symbol.name, {}).get(name)
+
+    def of(self, symbol):
+        """All declarations for ``symbol`` (name -> AttrDecl)."""
+        return self._by_symbol.get(symbol.name, {})
+
+    def synthesized(self, symbol):
+        return [d for d in self.of(symbol).values() if d.kind == SYN]
+
+    def inherited(self, symbol):
+        return [d for d in self.of(symbol).values() if d.kind == INH]
+
+    def total_attributes(self):
+        """Total attribute count across all symbols (the §4.1 statistic)."""
+        return sum(len(t) for t in self._by_symbol.values())

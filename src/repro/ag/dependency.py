@@ -1,0 +1,252 @@
+"""Dependency analysis over an attribute grammar.
+
+Builds the per-production direct dependency graphs ``DP(p)`` among
+attribute occurrences, then iterates the induced graphs ``IDP(p)`` /
+``IDS(X)`` to a fixpoint — the *absolutely noncircular* test used by
+ordered-AG systems.  The paper (§5.2) describes exactly the failure
+mode this analysis diagnoses: "a change in the dependencies of a
+semantic rule in one production can combine with a hitherto legal
+dependency in some far removed production to produce a circularity in
+the AG ... to diagnose and correct such a circularity usually requires
+... the global dependency structure of the AG."
+
+Occurrence nodes are ``(pos, attr)`` pairs; symbol-graph nodes are
+attribute names.  Edges point from a dependency to its dependent
+("computed before").
+"""
+
+from .errors import CircularityError
+
+
+class DependencyAnalysis:
+    """IDP/IDS fixpoint over one :class:`~repro.ag.spec.CompiledAG`."""
+
+    def __init__(self, compiled):
+        self.compiled = compiled
+        self.grammar = compiled.grammar
+        self.attr_table = compiled.attr_table
+        #: production index -> {occurrence key: set of successor keys}
+        self.dp = {}
+        #: production index -> induced graph, same shape as dp
+        self.idp = {}
+        #: symbol name -> {attr: set of successor attrs}
+        self.ids = {}
+        self._build_dp()
+        self._fixpoint()
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_dp(self):
+        for prod in self.grammar.productions:
+            graph = {}
+            for occ_key, rule in self.compiled.rules_of(prod).items():
+                for dep in rule.deps:
+                    if dep.symbol.is_terminal:
+                        continue  # token attributes are always available
+                    graph.setdefault(dep.key(), set()).add(occ_key)
+                graph.setdefault(occ_key, set())
+            self.dp[prod.index] = graph
+            self.idp[prod.index] = {
+                k: set(v) for k, v in graph.items()
+            }
+        for sym in self.grammar.nonterminals:
+            self.ids[sym.name] = {
+                a: set() for a in self.attr_table.of(sym)
+            }
+
+    def _fixpoint(self):
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.grammar.productions:
+                graph = self.idp[prod.index]
+                # Induce edges from the symbol graphs into IDP(p).
+                for pos, sym in enumerate(prod.symbols):
+                    if sym.is_terminal:
+                        continue
+                    for a, succs in self.ids[sym.name].items():
+                        for b in succs:
+                            src, dst = (pos, a), (pos, b)
+                            tgt = graph.setdefault(src, set())
+                            if dst not in tgt:
+                                tgt.add(dst)
+                                graph.setdefault(dst, set())
+                                changed = True
+                # Project the transitive closure of IDP(p) back onto
+                # each occurrence's symbol graph.
+                closure = _transitive_closure(graph)
+                for pos, sym in enumerate(prod.symbols):
+                    if sym.is_terminal:
+                        continue
+                    symgraph = self.ids[sym.name]
+                    for (p1, a), succs in closure.items():
+                        if p1 != pos:
+                            continue
+                        for (p2, b) in succs:
+                            if p2 != pos or b == a:
+                                continue
+                            if b not in symgraph.get(a, ()):
+                                symgraph.setdefault(a, set()).add(b)
+                                changed = True
+
+    # -- queries ----------------------------------------------------------------
+
+    def check_noncircular(self):
+        """Raise :class:`CircularityError` if any induced production
+        graph has a cycle (the absolutely-noncircular test; conservative
+        with respect to Knuth's exact test, as in practical systems)."""
+        for prod in self.grammar.productions:
+            cycle = _find_cycle(self.idp[prod.index])
+            if cycle is not None:
+                names = [
+                    "%s.%s" % (prod.symbols[pos].name, attr)
+                    for pos, attr in cycle
+                ]
+                raise CircularityError(
+                    "attribute grammar %r is (potentially) circular: "
+                    "production %s (%s) induces the cycle %s"
+                    % (
+                        self.compiled.name,
+                        prod.label,
+                        prod,
+                        " -> ".join(names),
+                    ),
+                    cycle=cycle,
+                )
+
+    def symbol_graph(self, symbol_name):
+        """The induced IDS graph for one symbol (attr -> successors)."""
+        return self.ids[symbol_name]
+
+
+def _transitive_closure(graph):
+    """Transitive closure of ``{node: set(successors)}``."""
+    closure = {k: set(v) for k, v in graph.items()}
+    changed = True
+    while changed:
+        changed = False
+        for node, succs in closure.items():
+            new = set()
+            for s in succs:
+                new |= closure.get(s, set())
+            if not new <= succs:
+                succs |= new
+                changed = True
+    return closure
+
+
+def _find_cycle(graph):
+    """Return one cycle in ``graph`` as a node list, or ``None``."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(graph.get(root, ())))]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in color:
+                    continue
+                if color[succ] == GREY:
+                    i = path.index(succ)
+                    return path[i:] + [succ]
+                if color[succ] == WHITE:
+                    color[succ] = GREY
+                    stack.append((succ, iter(graph.get(succ, ()))))
+                    path.append(succ)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+def knuth_circularity_test(compiled):
+    """Knuth's exact circularity test.
+
+    The absolutely-noncircular test above unions induced dependencies
+    per symbol, which can reject grammars no derivation tree of which
+    is actually circular (§5.2's diagnosis problem).  Knuth's test
+    keeps, for each nonterminal, the *set* of projected dependency
+    graphs its subtrees can produce, and checks each production
+    against every combination — exponential in the worst case, exact
+    always.
+
+    Returns ``None`` when no derivation tree can be circular, or a
+    (production, cycle) pair describing one circular combination.
+    """
+    grammar = compiled.grammar
+    attr_table = compiled.attr_table
+
+    def project(graph, pos, attrs):
+        closure = _transitive_closure(graph)
+        edges = frozenset(
+            (a, b)
+            for (p1, a), succs in closure.items()
+            if p1 == pos
+            for (p2, b) in succs
+            if p2 == pos and a != b and a in attrs and b in attrs
+        )
+        return edges
+
+    # io_sets[X] = set of frozensets of (attr, attr) edges.
+    io_sets = {nt.name: set() for nt in grammar.nonterminals}
+    base_graphs = {}
+    for prod in grammar.productions:
+        graph = {}
+        for occ_key, rule in compiled.rules_of(prod).items():
+            graph.setdefault(occ_key, set())
+            for dep in rule.deps:
+                if dep.symbol.is_terminal:
+                    continue
+                graph.setdefault(dep.key(), set()).add(occ_key)
+        base_graphs[prod.index] = graph
+
+    changed = True
+    while changed:
+        changed = False
+        for prod in grammar.productions:
+            child_positions = [
+                (pos, sym)
+                for pos, sym in enumerate(prod.rhs, start=1)
+                if not sym.is_terminal
+            ]
+            choice_sets = [
+                sorted(io_sets[sym.name] | {frozenset()},
+                       key=lambda s: sorted(s))
+                for _, sym in child_positions
+            ]
+            lhs_attrs = set(attr_table.of(prod.lhs))
+            for combo in _combinations(choice_sets):
+                graph = {
+                    k: set(v) for k, v in base_graphs[prod.index].items()
+                }
+                for (pos, _sym), edges in zip(child_positions, combo):
+                    for a, b in edges:
+                        graph.setdefault((pos, a), set()).add((pos, b))
+                        graph.setdefault((pos, b), set())
+                cycle = _find_cycle(graph)
+                if cycle is not None:
+                    return prod, cycle
+                projected = project(graph, 0, lhs_attrs)
+                if projected not in io_sets[prod.lhs.name]:
+                    io_sets[prod.lhs.name].add(projected)
+                    changed = True
+    return None
+
+
+def _combinations(choice_sets):
+    """Cartesian product over the per-child IO-graph choices."""
+    if not choice_sets:
+        yield ()
+        return
+    head, *rest = choice_sets
+    for choice in head:
+        for tail in _combinations(rest):
+            yield (choice,) + tail

@@ -1,0 +1,26 @@
+"""LALR(1) parser generation.
+
+The pipeline mirrors a classic table builder:
+
+1. :mod:`repro.ag.lr.grammar_ops` — nullable/FIRST computations.
+2. :mod:`repro.ag.lr.items` — the LR(0) item-set automaton.
+3. :mod:`repro.ag.lr.lalr` — LALR(1) lookaheads via the
+   DeRemer–Pennello relations (``reads``/``includes``/``lookback``)
+   solved with the digraph (SCC-merging) algorithm.
+4. :mod:`repro.ag.lr.tables` — ACTION/GOTO tables, precedence-based
+   conflict resolution, and conflict reporting (the paper's §4.1
+   discussion of united-production conflicts relies on this reporting).
+5. :mod:`repro.ag.lr.parser` — a table-driven driver that builds the
+   parse tree the attribute evaluators decorate.
+"""
+
+from .tables import ParseTables, Conflict, build_tables
+from .parser import Parser, ParseTree
+
+__all__ = [
+    "ParseTables",
+    "Conflict",
+    "build_tables",
+    "Parser",
+    "ParseTree",
+]

@@ -1,0 +1,109 @@
+"""Grammar statistics — the §4.1 size table.
+
+The paper reports, for its two AGs::
+
+                     VHDL AG   expr AG
+    productions        503       160
+    symbols            355       101
+    attributes        3509       446
+    rules(implicit)   8862(6363) 2132(1061)
+    max visits           3         4
+
+:func:`grammar_statistics` computes the same row for any compiled AG.
+"""
+
+from .errors import NotOrderedError, CircularityError
+from .grammar import START
+
+
+class GrammarStatistics:
+    """One grammar's row of the §4.1 table."""
+
+    def __init__(self, name, productions, symbols, attributes,
+                 rules, implicit_rules, max_visits):
+        self.name = name
+        self.productions = productions
+        self.symbols = symbols
+        self.attributes = attributes
+        self.rules = rules
+        self.implicit_rules = implicit_rules
+        self.max_visits = max_visits
+
+    @property
+    def implicit_fraction(self):
+        if self.rules == 0:
+            return 0.0
+        return self.implicit_rules / self.rules
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "productions": self.productions,
+            "symbols": self.symbols,
+            "attributes": self.attributes,
+            "rules": self.rules,
+            "implicit_rules": self.implicit_rules,
+            "max_visits": self.max_visits,
+        }
+
+    def rows(self):
+        """(label, value-string) pairs in the paper's order."""
+        visits = str(self.max_visits) if self.max_visits else "n/a"
+        return [
+            ("productions", str(self.productions)),
+            ("symbols", str(self.symbols)),
+            ("attributes", str(self.attributes)),
+            (
+                "rules(implicit)",
+                "%d (%d)" % (self.rules, self.implicit_rules),
+            ),
+            ("max visits", visits),
+        ]
+
+    def __str__(self):
+        lines = ["%-18s %s" % row for row in self.rows()]
+        return "%s\n%s" % (self.name, "\n".join(lines))
+
+
+def grammar_statistics(compiled):
+    """Compute the statistics row for a :class:`CompiledAG`.
+
+    ``max_visits`` falls back to ``None`` when the grammar is not an
+    ordered AG (the dynamic evaluator still handles it).
+    """
+    grammar = compiled.grammar
+    productions = sum(
+        1 for p in grammar.productions if p.label != "$accept"
+    )
+    symbols = sum(
+        1 for s in grammar.symbols.values()
+        if s.name not in (grammar.eof.name, START)
+    )
+    attributes = compiled.attr_table.total_attributes()
+    rules = compiled.n_explicit_rules + compiled.n_implicit_rules
+    try:
+        max_visits = compiled.analyze().max_visits
+    except (NotOrderedError, CircularityError):
+        max_visits = None
+    return GrammarStatistics(
+        compiled.name,
+        productions,
+        symbols,
+        attributes,
+        rules,
+        compiled.n_implicit_rules,
+        max_visits,
+    )
+
+
+def format_table(stats_list):
+    """Format several grammar rows side by side, as in the paper."""
+    labels = [label for label, _ in stats_list[0].rows()]
+    header = "%-18s" % "" + "".join(
+        "%14s" % s.name for s in stats_list
+    )
+    lines = [header]
+    for i, label in enumerate(labels):
+        cells = "".join("%14s" % s.rows()[i][1] for s in stats_list)
+        lines.append("%-18s%s" % (label, cells))
+    return "\n".join(lines)

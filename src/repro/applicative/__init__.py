@@ -1,0 +1,34 @@
+"""Applicative (persistent, immutable) data structures.
+
+Section 4.3 of the paper builds the symbol table as a value of
+attribute evaluation: "to build a new ENV value that binds ID to some
+other object(s) we create a new ENV node and insert it at the front of
+the tree ... so that the old ENV value is not changed", citing Myers'
+*Efficient Applicative Data Types* for balanced alternatives.
+
+- :mod:`repro.applicative.conslist` — the simple list form ("a tree in
+  which each node has only one child").
+- :mod:`repro.applicative.avl` — a persistent AVL map, the balanced
+  form Myers describes, benchmarked against the list in E7.
+- :mod:`repro.applicative.env` — the environment abstraction the VHDL
+  compiler's ENV attributes hold, supporting shadowing, multiple
+  denotations per identifier (overloading), and visibility provenance.
+"""
+
+from .conslist import Cons, NIL, concat, cons, from_iterable, iterate, to_list
+from .avl import AVLMap
+from .env import Binding, Env, LookupResult
+
+__all__ = [
+    "AVLMap",
+    "Binding",
+    "Cons",
+    "Env",
+    "LookupResult",
+    "NIL",
+    "concat",
+    "cons",
+    "from_iterable",
+    "iterate",
+    "to_list",
+]

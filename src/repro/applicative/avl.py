@@ -1,0 +1,155 @@
+"""A persistent (applicative) AVL map.
+
+"There are applicative forms of balanced trees, and other
+data-structures, that can instead be used to make the search more
+efficient" (§4.3, citing Myers).  Insertion copies only the search
+path; old versions remain valid — exactly the property the AG needs so
+that an ENV value, once computed, is never changed.
+"""
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height", "size")
+
+    def __init__(self, key, value, left, right):
+        self.key = key
+        self.value = value
+        self.left = left
+        self.right = right
+        lh = left.height if left else 0
+        rh = right.height if right else 0
+        self.height = 1 + (lh if lh > rh else rh)
+        self.size = 1 + (left.size if left else 0) + (
+            right.size if right else 0
+        )
+
+
+def _balance(node):
+    lh = node.left.height if node.left else 0
+    rh = node.right.height if node.right else 0
+    return lh - rh
+
+
+def _rotate_right(node):
+    left = node.left
+    new_right = _Node(node.key, node.value, left.right, node.right)
+    return _Node(left.key, left.value, left.left, new_right)
+
+
+def _rotate_left(node):
+    right = node.right
+    new_left = _Node(node.key, node.value, node.left, right.left)
+    return _Node(right.key, right.value, new_left, right.right)
+
+
+def _rebalance(node):
+    b = _balance(node)
+    if b > 1:
+        if _balance(node.left) < 0:
+            node = _Node(
+                node.key, node.value, _rotate_left(node.left), node.right
+            )
+        return _rotate_right(node)
+    if b < -1:
+        if _balance(node.right) > 0:
+            node = _Node(
+                node.key, node.value, node.left, _rotate_right(node.right)
+            )
+        return _rotate_left(node)
+    return node
+
+
+def _insert(node, key, value):
+    if node is None:
+        return _Node(key, value, None, None)
+    if key < node.key:
+        return _rebalance(
+            _Node(node.key, node.value, _insert(node.left, key, value),
+                  node.right)
+        )
+    if key > node.key:
+        return _rebalance(
+            _Node(node.key, node.value, node.left,
+                  _insert(node.right, key, value))
+        )
+    return _Node(key, value, node.left, node.right)
+
+
+class AVLMap:
+    """An immutable ordered map; all updates return new maps."""
+
+    __slots__ = ("_root",)
+
+    EMPTY = None  # set below
+
+    def __init__(self, _root=None):
+        self._root = _root
+
+    def insert(self, key, value):
+        """A new map with ``key`` bound to ``value`` (replacing)."""
+        return AVLMap(_insert(self._root, key, value))
+
+    def get(self, key, default=None):
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return node.value
+        return default
+
+    def __contains__(self, key):
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __getitem__(self, key):
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def __len__(self):
+        return self._root.size if self._root else 0
+
+    def __bool__(self):
+        return self._root is not None
+
+    def items(self):
+        """Key-ordered (key, value) pairs."""
+        stack = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self):
+        return (k for k, _ in self.items())
+
+    def values(self):
+        return (v for _, v in self.items())
+
+    def height(self):
+        """Tree height (used by the balance property tests)."""
+        return self._root.height if self._root else 0
+
+    @classmethod
+    def from_items(cls, items):
+        m = cls()
+        for k, v in items:
+            m = m.insert(k, v)
+        return m
+
+    def __repr__(self):
+        return "AVLMap({%s})" % ", ".join(
+            "%r: %r" % kv for kv in self.items()
+        )
+
+
+AVLMap.EMPTY = AVLMap()

@@ -1,0 +1,97 @@
+"""Immutable cons lists.
+
+The paper's LEF token lists and MSGS message lists are "built as
+attributes of symbols in the principal AG" and merged by associative
+functions; sharing tails keeps those merges cheap and safe.  Python
+tuples would copy on concatenation; cons cells share.
+"""
+
+
+class Cons:
+    """One immutable cons cell."""
+
+    __slots__ = ("head", "tail", "_length")
+
+    def __init__(self, head, tail):
+        self.head = head
+        self.tail = tail
+        self._length = 1 + (tail._length if isinstance(tail, Cons) else 0)
+
+    def __len__(self):
+        return self._length
+
+    def __iter__(self):
+        node = self
+        while isinstance(node, Cons):
+            yield node.head
+            node = node.tail
+
+    def __repr__(self):
+        items = ", ".join(repr(x) for x in self)
+        return "Cons[%s]" % items
+
+    def __eq__(self, other):
+        if isinstance(other, Cons):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(tuple(self))
+
+
+class _Nil:
+    """The empty list singleton."""
+
+    __slots__ = ()
+    _length = 0
+
+    def __len__(self):
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def __repr__(self):
+        return "NIL"
+
+    def __bool__(self):
+        return False
+
+
+NIL = _Nil()
+
+
+def cons(head, tail=NIL):
+    """Prepend ``head`` to ``tail``."""
+    return Cons(head, tail)
+
+
+def from_iterable(items):
+    """Build a cons list preserving the order of ``items``."""
+    node = NIL
+    for item in reversed(list(items)):
+        node = Cons(item, node)
+    return node
+
+
+def to_list(node):
+    """Convert a cons list to a Python list."""
+    return list(iterate(node))
+
+
+def iterate(node):
+    """Iterate a cons list (works for both ``Cons`` and ``NIL``)."""
+    while isinstance(node, Cons):
+        yield node.head
+        node = node.tail
+
+
+def concat(a, b):
+    """Concatenate two cons lists, sharing ``b``'s cells.
+
+    This is the associative merge-function shape used for MSGS-style
+    attribute classes; cost is ``O(len(a))``.
+    """
+    for item in reversed(to_list(a)):
+        b = Cons(item, b)
+    return b

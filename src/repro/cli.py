@@ -1,0 +1,165 @@
+"""The script-driven user interface.
+
+"The compiler is invoked by either a menu-based or script-driven user
+interface" (§2).  This is the script-driven one::
+
+    python -m repro compile design.vhd --root ./libs
+    python -m repro dump work rtl(counter) --root ./libs
+    python -m repro simulate testbench --root ./libs --until 200ns \
+        --trace clk --trace q
+    python -m repro stats
+
+Compile places successfully compiled units into the working library
+(``--work``, default ``work``) under ``--root``; reference libraries
+named with ``--ref`` can be read but never updated.
+"""
+
+import argparse
+import sys
+
+from .sim import TIME_UNITS
+
+
+def _parse_time(text):
+    """'200ns' / '1 us' / '5000' (fs) -> femtoseconds."""
+    text = text.strip().lower().replace(" ", "")
+    for unit, scale in sorted(TIME_UNITS, key=lambda u: -len(u[0])):
+        if text.endswith(unit):
+            return int(float(text[: -len(unit)]) * scale)
+    return int(text)
+
+
+def _make_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AG-generated VHDL compiler and simulator "
+                    "(PLDI 1989 reproduction)",
+    )
+    parser.add_argument("--root", default=None,
+                        help="design-library directory (persistent)")
+    parser.add_argument("--work", default="work",
+                        help="working library name")
+    parser.add_argument("--ref", action="append", default=[],
+                        help="reference library (read-only)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile VHDL source files")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--keep-going", action="store_true",
+                   help="report diagnostics without failing")
+
+    p = sub.add_parser("dump", help="human-readable VIF of a unit")
+    p.add_argument("library")
+    p.add_argument("unit")
+
+    p = sub.add_parser("list", help="list units in the library")
+
+    p = sub.add_parser("simulate", help="elaborate and run a design")
+    p.add_argument("top", help="entity or configuration name")
+    p.add_argument("--arch", default=None)
+    p.add_argument("--until", default="1us",
+                   help="simulation time, e.g. 200ns")
+    p.add_argument("--trace", action="append", default=[],
+                   help="signal suffix to trace (repeatable)")
+    p.add_argument("--vcd", default=None,
+                   help="write a VCD file of the traced signals")
+
+    sub.add_parser("stats", help="print the AG-statistics table")
+    return parser
+
+
+def _library(args):
+    from .vhdl.library import LibraryManager
+
+    return LibraryManager(root=args.root, work=args.work,
+                          reference_libs=tuple(args.ref))
+
+
+def cmd_compile(args, out):
+    from .vhdl.compiler import Compiler
+
+    compiler = Compiler(library=_library(args), work=args.work,
+                        strict=False)
+    failures = 0
+    for path in args.files:
+        result = compiler.compile_file(path)
+        status = "ok" if result.ok else "%d error(s)" % len(
+            result.messages)
+        out("%s: %s (%d lines, units: %s)" % (
+            path, status, result.source_lines,
+            ", ".join(result.unit_names()) or "none"))
+        for message in result.messages:
+            out("  %s" % message)
+        if not result.ok:
+            failures += 1
+    return 1 if failures and not args.keep_going else 0
+
+
+def cmd_dump(args, out):
+    lib = _library(args)
+    out(lib.dump_vif(args.library, args.unit))
+    return 0
+
+
+def cmd_list(args, out):
+    lib = _library(args)
+    for libname, key in lib.compile_order:
+        out("%s.%s" % (libname, key))
+    return 0
+
+
+def cmd_simulate(args, out):
+    from .sim.tracing import Tracer, format_fs
+    from .vhdl.elaborate import Elaborator
+
+    elab = Elaborator(_library(args))
+    sim = elab.elaborate(args.top, arch_name=args.arch)
+    tracer = None
+    if args.trace or args.vcd:
+        signals = []
+        for suffix in args.trace or ["*"]:
+            for path in sim.names.by_suffix(suffix):
+                if sim.names.kind_of(path) == "signal":
+                    signals.append(sim.names.lookup(path))
+        tracer = Tracer(sim.kernel, signals or None)
+    until = _parse_time(args.until)
+    end = sim.run(until_fs=until)
+    out("simulation stopped at %s (%d cycles)"
+        % (format_fs(end), sim.kernel.cycles))
+    for path, sig in sim.names.signals():
+        out("  %-30s = %s" % (path, sig.image(sig.value)))
+    if tracer is not None and args.vcd:
+        with open(args.vcd, "w") as f:
+            f.write(tracer.vcd())
+        out("VCD written to %s" % args.vcd)
+    return 0
+
+
+def cmd_stats(args, out):
+    from .ag import format_table
+    from .vhdl.expr_grammar import expr_grammar
+    from .vhdl.grammar import principal_grammar
+
+    out(format_table([
+        principal_grammar().statistics(),
+        expr_grammar().statistics(),
+    ]))
+    return 0
+
+
+COMMANDS = {
+    "compile": cmd_compile,
+    "dump": cmd_dump,
+    "list": cmd_list,
+    "simulate": cmd_simulate,
+    "stats": cmd_stats,
+}
+
+
+def main(argv=None, out=print):
+    args = _make_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

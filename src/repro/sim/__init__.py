@@ -1,0 +1,46 @@
+"""The target virtual machine (§2.1).
+
+"The virtual machine consists of four modules: (1) Simulation Kernel,
+(2) Runtime Support, (3) VHDL I/O, (4) Name Server."
+
+- :mod:`repro.sim.kernel` — the simulation kernel: simulation-cycle
+  semantics, delta cycles, process scheduling.
+- :mod:`repro.sim.signals` — signals, drivers, projected output
+  waveforms, preemption, bus resolution.
+- :mod:`repro.sim.process` — processes and wait conditions.
+- :mod:`repro.sim.runtime` — runtime support: all the predefined VHDL
+  operations over runtime values, plus the per-process runtime facade
+  (``rt``) generated code calls.
+- :mod:`repro.sim.vhdlio` — VHDL I/O (assertion reporting and a
+  TEXTIO-flavored write path).
+- :mod:`repro.sim.nameserver` — "the means of identifying by name each
+  object in the simulated system".
+"""
+
+from .kernel import Kernel, SimulationError
+from .signals import Signal
+from .runtime import VArray, VRecord, ops
+from .nameserver import NameServer
+
+__all__ = [
+    "Kernel",
+    "NameServer",
+    "Signal",
+    "SimulationError",
+    "VArray",
+    "VRecord",
+    "ops",
+]
+
+#: femtoseconds per time unit, primary unit first — the runtime's
+#: representation of type TIME.
+TIME_UNITS = (
+    ("fs", 1),
+    ("ps", 10**3),
+    ("ns", 10**6),
+    ("us", 10**9),
+    ("ms", 10**12),
+    ("sec", 10**15),
+    ("min", 60 * 10**15),
+    ("hr", 3600 * 10**15),
+)

@@ -1,0 +1,237 @@
+"""The simulation kernel: simulation-cycle semantics and delta cycles.
+
+One simulation cycle (IEEE 1076-1987 §12, the semantics the paper's
+kernel implements):
+
+1. advance time to the next activity (or stay put for a delta cycle);
+2. update every active signal from its drivers' projected waveforms,
+   determining the cycle's *events*;
+3. resume every process whose wait is satisfied by those events or
+   whose timeout expired;
+4. execute the resumed processes until each suspends again — their
+   assignments project new transactions, possibly at the current time,
+   which makes the next cycle a delta cycle.
+"""
+
+from .process import Process, WaitRequest
+from .runtime import RuntimeError_, ops
+from .signals import Signal
+from .vhdlio import AssertionFailure, SeverityLogger
+
+
+class SimulationError(Exception):
+    """Kernel-level failure (unbounded delta loop, bad yield, ...)."""
+
+
+class Kernel:
+    """An event-driven simulator instance."""
+
+    def __init__(self, max_deltas=10000, logger=None):
+        self.now = 0
+        self.step = 0  # simulation-cycle stamp, for 'EVENT / 'ACTIVE
+        self.signals = []
+        self.processes = []
+        self.max_deltas = max_deltas
+        self.current_process = None
+        self.logger = logger or SeverityLogger()
+        self.rt = RT(self)
+        self._initialized = False
+        self.cycles = 0  # executed simulation cycles (bench metric)
+        self.tracers = []  # repro.sim.tracing.Tracer instances
+
+    # -- construction ------------------------------------------------------
+
+    def signal(self, name, init, resolution=None, image=None):
+        sig = Signal(name, init, resolution, image)
+        sig.kernel = self
+        self.signals.append(sig)
+        return sig
+
+    def process(self, name, generator_fn, sensitivity=None):
+        """Register a process.
+
+        ``generator_fn`` is a nullary callable returning the process
+        generator.  ``sensitivity`` is accepted for bookkeeping; the
+        generated code already ends its loop with the equivalent wait.
+        """
+        proc = Process(name, generator_fn())
+        proc.kernel = self
+        self.processes.append(proc)
+        return proc
+
+    # -- scheduling ----------------------------------------------------------
+
+    def note_time(self, t):
+        """Kept for API symmetry; activity times are derived from the
+        projected waveforms and wait timeouts, so preempted
+        transactions can never produce phantom cycles."""
+
+    def _next_time(self):
+        best = None
+        for sig in self.signals:
+            t = sig.next_time()
+            if t is not None and (best is None or t < best):
+                best = t
+        for proc in self.processes:
+            if proc.done or proc.wait is None:
+                continue
+            t = proc.timeout_at
+            if t is not None and (best is None or t < best):
+                best = t
+        if best is not None and best < self.now:
+            best = self.now
+        return best
+
+    # -- execution -----------------------------------------------------------
+
+    def initialize(self):
+        """The initialization phase: run every process once."""
+        if self._initialized:
+            return
+        self._initialized = True
+        self.step = 0
+        for proc in list(self.processes):
+            self._execute(proc)
+
+    def _execute(self, proc):
+        """Run one process until it suspends (or finishes)."""
+        self.current_process = proc
+        try:
+            request = next(proc.generator)
+        except StopIteration:
+            proc.done = True
+            proc.wait = None
+            return
+        except AssertionFailure:
+            proc.done = True
+            raise
+        finally:
+            self.current_process = None
+        if not isinstance(request, WaitRequest):
+            raise SimulationError(
+                "process %r yielded %r instead of a wait request"
+                % (proc.name, request)
+            )
+        proc.wait = request
+        if request.timeout is not None:
+            proc.timeout_at = self.now + max(request.timeout, 0)
+        else:
+            proc.timeout_at = None
+
+    def cycle(self):
+        """Execute one simulation cycle; returns False when quiescent."""
+        self.initialize()
+        tn = self._next_time()
+        if tn is None:
+            return False
+        self.now = tn
+        self.step += 1
+        self.cycles += 1
+
+        for sig in self.signals:
+            nxt = sig.next_time()
+            if nxt is not None and nxt <= self.now:
+                sig.update(self.now, self.step)
+
+        for tracer in self.tracers:
+            tracer.on_cycle(self.now, self.step)
+
+        resumed = [
+            p for p in self.processes if p.should_resume(self.step, self.now)
+        ]
+        for proc in resumed:
+            proc.wait = None
+            proc.timeout_at = None
+        for proc in resumed:
+            self._execute(proc)
+        return True
+
+    def run(self, until=None, max_cycles=None):
+        """Run simulation cycles until quiescent, ``until`` fs passes,
+        or ``max_cycles`` cycles execute.  Returns the final time."""
+        self.initialize()
+        deltas = 0
+        last_time = self.now
+        executed = 0
+        while True:
+            tn = self._next_time()
+            if tn is None:
+                break
+            if until is not None and tn > until:
+                self.now = until
+                break
+            if not self.cycle():
+                break
+            executed += 1
+            if max_cycles is not None and executed >= max_cycles:
+                break
+            if self.now == last_time:
+                deltas += 1
+                if deltas > self.max_deltas:
+                    raise SimulationError(
+                        "more than %d delta cycles at %d fs — "
+                        "unbounded zero-delay loop" % (self.max_deltas, self.now)
+                    )
+            else:
+                deltas = 0
+                last_time = self.now
+        return self.now
+
+
+class RT:
+    """The per-kernel runtime facade generated code calls.
+
+    One instance per kernel; the executing process is tracked by the
+    kernel so driver lookup is implicit, exactly as the paper's
+    generated C relied on kernel state.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.ops = ops
+
+    # -- signals ----------------------------------------------------------------
+
+    def read(self, sig):
+        return sig.value
+
+    def assign(self, sig, waveform, transport=False):
+        """Signal assignment: waveform is ((value, delay_fs), ...)."""
+        proc = self.kernel.current_process
+        if proc is None:
+            raise SimulationError(
+                "signal assignment to %r outside any process" % sig.name
+            )
+        driver = sig.driver_for(proc)
+        driver.schedule(self.kernel.now, waveform, transport)
+
+    def event(self, sig):
+        return 1 if sig.had_event(self.kernel.step) else 0
+
+    def active(self, sig):
+        return 1 if sig.is_active(self.kernel.step) else 0
+
+    def last_value(self, sig):
+        return sig.last_value
+
+    # -- waiting --------------------------------------------------------------------
+
+    def wait(self, signals=None, condition=None, timeout=None):
+        """Build the wait request a process yields."""
+        return WaitRequest(signals, condition, timeout)
+
+    # -- misc -------------------------------------------------------------------------
+
+    @property
+    def now(self):
+        return self.kernel.now
+
+    def assert_(self, condition, message, severity="error"):
+        if not condition:
+            self.kernel.logger.report(
+                severity, message, self.kernel.now,
+                self.kernel.current_process,
+            )
+
+    def check(self, value, low, high, what="value"):
+        return ops.check_range(value, low, high, what)

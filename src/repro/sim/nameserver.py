@@ -1,0 +1,79 @@
+"""The Name Server: "the means of identifying by name each object in
+the simulated system" (§2.1).
+
+Every signal, process, and instance registered during elaboration gets
+a hierarchical path name (``:top:u1:count``); the server answers
+lookups by exact path, by suffix, and by glob pattern, and can dump the
+design hierarchy — the services an interactive simulation environment
+(the VantageSpreadsheet of the paper) needs from its kernel.
+"""
+
+import fnmatch
+
+SEPARATOR = ":"
+
+
+class NameServer:
+    """Hierarchical registry of simulated objects."""
+
+    def __init__(self):
+        self._objects = {}  # path -> (kind, object)
+        self._children = {}  # path -> [child paths]
+
+    def register(self, path, kind, obj):
+        """Register ``obj`` under ``path`` (e.g. ':top:u1:count')."""
+        if path in self._objects:
+            raise KeyError("path %r already registered" % path)
+        self._objects[path] = (kind, obj)
+        parent = path.rpartition(SEPARATOR)[0]
+        self._children.setdefault(parent, []).append(path)
+        return path
+
+    def lookup(self, path):
+        """The object at an exact path, or None."""
+        entry = self._objects.get(path)
+        return entry[1] if entry else None
+
+    def kind_of(self, path):
+        entry = self._objects.get(path)
+        return entry[0] if entry else None
+
+    def find(self, pattern):
+        """Paths matching a glob pattern (``:top:*:count``)."""
+        return sorted(
+            p for p in self._objects if fnmatch.fnmatch(p, pattern)
+        )
+
+    def by_suffix(self, name):
+        """Paths whose final component is ``name``."""
+        suffix = SEPARATOR + name
+        return sorted(
+            p for p in self._objects
+            if p == name or p.endswith(suffix)
+        )
+
+    def children(self, path):
+        return sorted(self._children.get(path, []))
+
+    def signals(self):
+        """All registered signals as (path, Signal)."""
+        return sorted(
+            (p, o) for p, (k, o) in self._objects.items() if k == "signal"
+        )
+
+    def tree(self, root=""):
+        """An indented dump of the hierarchy under ``root``."""
+        lines = []
+
+        def walk(path, depth):
+            for child in self.children(path):
+                kind, _ = self._objects[child]
+                name = child.rpartition(SEPARATOR)[2]
+                lines.append("%s%s [%s]" % ("  " * depth, name, kind))
+                walk(child, depth + 1)
+
+        walk(root, 0)
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self._objects)

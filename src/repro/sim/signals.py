@@ -1,0 +1,169 @@
+"""Signals, drivers, projected output waveforms, and resolution.
+
+The paper (§5.1, citing Luckham et al. [13]) stresses that "due to the
+preemptive nature of signal assignments in VHDL, the effect of a VHDL
+signal assignment is not determinable at the time of the execution of
+the assignment": each process drives a signal through its own *driver*
+holding a projected output waveform of future transactions, and
+assignment edits that projection.
+
+Preemption (VHDL'87 semantics, simplified pulse rejection):
+
+- *transport* delay: new transactions delete previously projected
+  transactions at or after the first new time;
+- *inertial* delay: new transactions delete the entire projection
+  first (pulses shorter than the delay vanish).
+
+When a signal has several drivers it must be *resolved*: the bus
+resolution function receives the list of driver values and produces the
+signal value.
+"""
+
+from .runtime import RuntimeError_
+
+
+class Transaction:
+    """One projected transaction: value to take effect at a time."""
+
+    __slots__ = ("time", "value")
+
+    def __init__(self, time, value):
+        self.time = time
+        self.value = value
+
+    def __repr__(self):
+        return "(%d fs -> %r)" % (self.time, self.value)
+
+
+class Driver:
+    """One process's projected output waveform for one signal."""
+
+    __slots__ = ("process", "signal", "value", "waveform")
+
+    def __init__(self, process, signal, initial):
+        self.process = process
+        self.signal = signal
+        self.value = initial
+        self.waveform = []  # Transactions sorted by time
+
+    def schedule(self, now, waveform_elems, transport):
+        """Apply an assignment: ``waveform_elems`` is a sequence of
+        (value, delay_fs) pairs, already ordered by delay."""
+        if not waveform_elems:
+            return []
+        new = [
+            Transaction(now + max(delay, 0), value)
+            for value, delay in waveform_elems
+        ]
+        first = new[0].time
+        if transport:
+            self.waveform = [t for t in self.waveform if t.time < first]
+        else:
+            self.waveform = []
+        self.waveform.extend(new)
+        return [t.time for t in new]
+
+    def advance(self, now):
+        """Take due transactions; returns True when the driver's value
+        changed or a transaction fired (the signal becomes *active*)."""
+        fired = False
+        while self.waveform and self.waveform[0].time <= now:
+            t = self.waveform.pop(0)
+            self.value = t.value
+            fired = True
+        return fired
+
+    def next_time(self):
+        return self.waveform[0].time if self.waveform else None
+
+
+class Signal:
+    """A signal object with drivers, current/last value, and events."""
+
+    __slots__ = (
+        "name",
+        "value",
+        "last_value",
+        "resolution",
+        "drivers",
+        "event_delta",
+        "active_delta",
+        "last_event_time",
+        "image",
+        "kernel",
+    )
+
+    def __init__(self, name, init, resolution=None, image=None):
+        self.name = name
+        self.value = init
+        self.last_value = init
+        self.resolution = resolution
+        self.drivers = {}  # process -> Driver
+        self.event_delta = -1  # kernel step stamp of the last event
+        self.active_delta = -1
+        self.last_event_time = None
+        self.image = image or repr
+        self.kernel = None
+
+    def driver_for(self, process):
+        """The driver of ``process``, created on first assignment."""
+        driver = self.drivers.get(process)
+        if driver is None:
+            driver = Driver(process, self, self.value)
+            self.drivers[process] = driver
+        return driver
+
+    def compute_value(self):
+        """Resolve driver values into the signal value."""
+        if not self.drivers:
+            return self.value
+        values = [d.value for d in self.drivers.values()]
+        if self.resolution is not None:
+            return self.resolution(values)
+        if len(values) > 1:
+            raise RuntimeError_(
+                "signal %r has %d drivers but no resolution function"
+                % (self.name, len(values))
+            )
+        return values[0]
+
+    def update(self, now, step):
+        """Advance drivers to ``now``; record event/active stamps.
+
+        Returns True when the signal had an event (value change).
+        """
+        fired = False
+        for driver in self.drivers.values():
+            if driver.advance(now):
+                fired = True
+        if not fired:
+            return False
+        self.active_delta = step
+        new_value = self.compute_value()
+        if new_value != self.value:
+            self.last_value = self.value
+            self.value = new_value
+            self.event_delta = step
+            self.last_event_time = now
+            return True
+        return False
+
+    def next_time(self):
+        """Earliest projected transaction time over all drivers."""
+        times = [
+            d.next_time()
+            for d in self.drivers.values()
+            if d.next_time() is not None
+        ]
+        return min(times) if times else None
+
+    def had_event(self, step):
+        """'EVENT during the current simulation cycle."""
+        return self.event_delta == step
+
+    def is_active(self, step):
+        """'ACTIVE during the current simulation cycle."""
+        return self.active_delta == step
+
+    def __repr__(self):
+        return "<Signal %s=%s>" % (self.name, self.image(self.value))

@@ -1,0 +1,118 @@
+"""Waveform tracing.
+
+The paper's compiler fed the VantageSpreadsheet(TM) behavioral
+simulation environment — an interactive tool over simulation results.
+:class:`Tracer` records every event on selected signals and can render
+an ASCII waveform or export a VCD (Value Change Dump) file that any
+wave viewer opens.
+"""
+
+from .runtime import VArray
+
+from . import TIME_UNITS
+
+
+class Tracer:
+    """Records (time, value) changes of a set of signals."""
+
+    def __init__(self, kernel, signals=None):
+        self.kernel = kernel
+        self.signals = list(signals) if signals else list(kernel.signals)
+        self.history = {sig: [(0, sig.value)] for sig in self.signals}
+        kernel.tracers.append(self)
+
+    def on_cycle(self, now, step):
+        for sig in self.signals:
+            if sig.had_event(step):
+                self.history[sig].append((now, sig.value))
+
+    # -- rendering -------------------------------------------------------------
+
+    def changes(self, sig):
+        """The recorded (time_fs, value) change list of one signal."""
+        return list(self.history[sig])
+
+    def value_at(self, sig, time_fs):
+        """The signal's value as of ``time_fs`` (last change before)."""
+        value = None
+        for t, v in self.history[sig]:
+            if t > time_fs:
+                break
+            value = v
+        return value
+
+    def ascii_wave(self, until_fs, step_fs, image=None):
+        """A textual waveform table, one row per signal."""
+        times = list(range(0, until_fs + 1, step_fs))
+        lines = []
+        header = "time(fs)".ljust(16) + " ".join(
+            str(t).rjust(8) for t in times)
+        lines.append(header)
+        for sig in self.signals:
+            render = image or sig.image or repr
+            cells = [
+                str(render(self.value_at(sig, t))).rjust(8)
+                for t in times
+            ]
+            lines.append(sig.name.ljust(16) + " ".join(cells))
+        return "\n".join(lines)
+
+    def vcd(self, timescale="1 fs"):
+        """A VCD document of the recorded changes."""
+        out = [
+            "$date repro trace $end",
+            "$version repro.sim.tracing $end",
+            "$timescale %s $end" % timescale,
+            "$scope module top $end",
+        ]
+        codes = {}
+        for i, sig in enumerate(self.signals):
+            code = _vcd_code(i)
+            codes[sig] = code
+            width = (len(sig.value)
+                     if isinstance(sig.value, VArray) else 32)
+            safe = sig.name.replace(" ", "_").lstrip(":").replace(
+                ":", ".")
+            out.append("$var wire %d %s %s $end" % (width, code, safe))
+        out.append("$upscope $end")
+        out.append("$enddefinitions $end")
+
+        events = []
+        for sig in self.signals:
+            for t, v in self.history[sig]:
+                events.append((t, sig, v))
+        events.sort(key=lambda e: e[0])
+        last_t = None
+        for t, sig, v in events:
+            if t != last_t:
+                out.append("#%d" % t)
+                last_t = t
+            out.append(_vcd_value(v, codes[sig]))
+        return "\n".join(out) + "\n"
+
+
+def _vcd_code(i):
+    """Short printable identifier codes, VCD style."""
+    alphabet = "".join(chr(c) for c in range(33, 127))
+    code = ""
+    i += 1
+    while i:
+        i, rem = divmod(i - 1, len(alphabet))
+        code = alphabet[rem] + code
+    return code
+
+
+def _vcd_value(value, code):
+    if isinstance(value, VArray):
+        bits = "".join(str(b) for b in value.elems)
+        return "b%s %s" % (bits or "0", code)
+    if isinstance(value, int):
+        return "b%s %s" % (format(value & (2**32 - 1), "b"), code)
+    return "b0 %s" % code
+
+
+def format_fs(fs):
+    for unit, scale in reversed(TIME_UNITS):
+        if fs and fs % scale == 0:
+            return "%d %s" % (fs // scale, unit)
+    return "%d fs" % fs

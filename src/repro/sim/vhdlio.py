@@ -1,0 +1,78 @@
+"""VHDL I/O: assertion reporting and simple text output.
+
+The virtual machine's third module.  Assertion violations are reported
+with their severity, simulation time, and originating process;
+``severity failure`` raises and stops the simulation, the weaker
+levels log.  A TEXTIO-flavored line writer covers the subset's output
+needs (models printing traces).
+"""
+
+SEVERITIES = ("note", "warning", "error", "failure")
+
+
+class AssertionFailure(Exception):
+    """An assertion with severity FAILURE fired."""
+
+
+def format_time(fs):
+    """Render femtoseconds in the largest even unit, like TIME'IMAGE."""
+    from . import TIME_UNITS
+
+    for unit, scale in reversed(TIME_UNITS):
+        if fs and fs % scale == 0:
+            return "%d %s" % (fs // scale, unit)
+    return "%d fs" % fs
+
+
+class SeverityLogger:
+    """Collects assertion reports; raises on FAILURE."""
+
+    def __init__(self, sink=None, fail_on="failure"):
+        self.records = []
+        self.sink = sink  # callable(str) or None
+        self.counts = {s: 0 for s in SEVERITIES}
+        self.fail_on = SEVERITIES.index(fail_on)
+
+    def report(self, severity, message, now=0, process=None):
+        severity = severity.lower()
+        if severity not in SEVERITIES:
+            severity = "error"
+        self.counts[severity] += 1
+        where = process.name if process is not None else "<elaboration>"
+        line = "%s: assertion %s at %s (%s): %s" % (
+            where,
+            severity,
+            format_time(now),
+            severity.upper(),
+            message,
+        )
+        self.records.append((severity, now, where, message))
+        if self.sink is not None:
+            self.sink(line)
+        if SEVERITIES.index(severity) >= self.fail_on:
+            raise AssertionFailure(line)
+
+    def errors(self):
+        return self.counts["error"] + self.counts["failure"]
+
+
+class TextBuffer:
+    """A minimal TEXTIO-style line sink (WRITE/WRITELINE shape)."""
+
+    def __init__(self, sink=None):
+        self.lines = []
+        self._current = []
+        self.sink = sink
+
+    def write(self, value, image=str):
+        self._current.append(image(value))
+
+    def writeline(self):
+        line = "".join(self._current)
+        self._current = []
+        self.lines.append(line)
+        if self.sink is not None:
+            self.sink(line)
+
+    def text(self):
+        return "\n".join(self.lines)

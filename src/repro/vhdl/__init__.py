@@ -1,0 +1,26 @@
+"""The VHDL compiler proper — written as two attribute grammars.
+
+Mirrors the paper's compiler core (§2.2): a *principal* AG over the
+full language (:mod:`repro.vhdl.grammar`) that builds the symbol table
+applicatively and emits LEF token lists for expressions, and an
+*expression* AG (:mod:`repro.vhdl.expr_grammar`) that re-parses each
+LEF list with phrase structure chosen by what names denote (§4.1).
+Compilation units produce VIF (:mod:`repro.vif`) stored in design
+libraries (:mod:`repro.vhdl.library`) plus generated code
+(:mod:`repro.vhdl.codegen`) executed by the simulation virtual machine
+(:mod:`repro.sim`).
+
+Public entry point: :class:`repro.vhdl.compiler.Compiler`.  Imported
+lazily because the VIF node generator imports behavior mixins from
+submodules of this package.
+"""
+
+__all__ = ["Compiler", "CompileError", "CompileResult"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from . import compiler
+
+        return getattr(compiler, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

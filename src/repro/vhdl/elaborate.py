@@ -1,0 +1,264 @@
+"""Elaboration: turning compiled units into a running simulation.
+
+Generated models define ``elaborate(ctx)``; the :class:`Elaborator`
+builds the design hierarchy by executing them — resolving component
+bindings at this point, per the paper's §3.3 trade-off of postponing
+work "until the configuration information is available".  Binding
+resolution order:
+
+1. an explicit configuration *unit* selected for the top (or bindings
+   it carries for inner instances);
+2. configuration *specifications* compiled into the architecture;
+3. the default rules: an entity with the component's name in the work
+   library, and **the latest compiled architecture for that entity** —
+   the usage-history-dependent default the paper calls out as making
+   descriptions non-deterministic.
+"""
+
+from ..sim import Kernel, NameServer
+from ..sim.nameserver import SEPARATOR
+from .codegen.pymodel import load_model
+from .symtab import entry_kind
+
+
+class ElaborationError(Exception):
+    """A binding or interface mismatch found during elaboration."""
+
+
+class ElabContext:
+    """The ``ctx`` object generated models receive."""
+
+    def __init__(self, elaborator, path, generics=None, ports=None,
+                 arch_node=None, config_rows=()):
+        self._elab = elaborator
+        self.kernel = elaborator.kernel
+        self.rt = elaborator.kernel.rt
+        self.ops = self.rt.ops
+        self.path = path
+        self._generics = dict(generics or {})
+        self._ports = dict(ports or {})
+        self._arch = arch_node
+        self._config_rows = list(config_rows)
+        self._exports = {}
+
+    # -- interface ------------------------------------------------------------
+
+    def generic(self, name, default=None):
+        if name in self._generics:
+            return self._generics[name]
+        if default is None:
+            raise ElaborationError(
+                "generic %r of %s has no actual and no default"
+                % (name, self.path))
+        return default
+
+    def port(self, name, init=0, mode="in"):
+        sig = self._ports.get(name)
+        if sig is None:
+            # Unbound/top-level port: a fresh signal.
+            sig = self.signal(name, init)
+        return sig
+
+    # -- declarations ------------------------------------------------------------
+
+    def signal(self, name, init=0, res=None):
+        sig = self.kernel.signal(
+            "%s%s%s" % (self.path, SEPARATOR, name), init, res)
+        self._elab.names.register(sig.name, "signal", sig)
+        return sig
+
+    def process(self, name, fn):
+        proc = self.kernel.process(
+            "%s%s%s" % (self.path, SEPARATOR, name), fn)
+        self._elab.names.register(proc.name, "process", proc)
+        return proc
+
+    def export(self, names):
+        """Package elaboration result (constants, functions, signals)."""
+        self._exports.update(names)
+
+    # -- structure ----------------------------------------------------------------
+
+    def instance(self, label, comp_name, generic_map, port_map):
+        """Instantiate a bound component (§3.3, both layers)."""
+        binding = self._elab.resolve_binding(
+            comp_name, label, self._arch, self._config_rows)
+        if binding is None:
+            raise ElaborationError(
+                "no entity/architecture binding for instance %s:%s "
+                "of component %r" % (self.path, label, comp_name))
+        entity, arch = binding
+        child_path = "%s%s%s" % (self.path, SEPARATOR, label)
+        self._elab.names.register(child_path, "instance",
+                                  (entity.name, arch.name))
+        self._elab.elaborate_architecture(
+            entity, arch, child_path, generics=generic_map,
+            ports=port_map)
+
+
+class Elaborator:
+    """Builds a simulation from a library's compiled units."""
+
+    def __init__(self, library, kernel=None):
+        self.library = library
+        self.kernel = kernel or Kernel()
+        self.names = NameServer()
+        self._package_ns = {}
+        self._packages_loaded = False
+
+    # -- packages -------------------------------------------------------------------
+
+    def _load_packages(self):
+        """Elaborate every package (and body) once, in compile order;
+        their exports become the shared globals of all models."""
+        if self._packages_loaded:
+            return
+        self._packages_loaded = True
+        for lib, key in list(self.library.compile_order):
+            node = self.library.find_unit(lib, key) \
+                or self.library._units.get((lib, key))
+            if node is None:
+                continue
+            kind = entry_kind(node)
+            if kind not in ("package", "package_body"):
+                continue
+            py = getattr(node, "py_source", "")
+            if not py or "elaborate" not in py:
+                continue
+            ctx = ElabContext(self, SEPARATOR + node.name)
+            ns = load_model(py, "%s.%s" % (lib, key),
+                            extra_globals=self._package_ns)
+            ns["elaborate"](ctx)
+            self._package_ns.update(ctx._exports)
+
+    # -- binding resolution (§3.3) ------------------------------------------------------
+
+    def resolve_binding(self, comp_name, label, arch_node, config_rows):
+        lib = self.library.work
+        # 1. configuration-unit rows for this architecture.
+        for row in config_rows:
+            _arch, labels, comp, blib, ent_name, arch_name = row
+            label_set = labels.split(",") if isinstance(labels, str) \
+                else list(labels)
+            if comp != comp_name:
+                continue
+            if label not in label_set and "all" not in label_set \
+                    and "others" not in label_set:
+                continue
+            return self._find_pair(blib or lib, ent_name, arch_name)
+        # 2. configuration specifications baked into the architecture.
+        if arch_node is not None:
+            for inst in arch_node.instances:
+                if inst.label == label and inst.is_bound:
+                    return self._find_pair(
+                        inst.bound_library or lib, inst.bound_entity,
+                        inst.bound_arch)
+        # 3. defaults: same-named entity, latest compiled architecture.
+        entity = self.library.find_unit(lib, comp_name)
+        if entity is None or entry_kind(entity) != "entity":
+            return None
+        arch = self.library.latest_architecture(lib, entity.name)
+        if arch is None:
+            return None
+        return entity, arch
+
+    def _find_pair(self, lib, ent_name, arch_name):
+        entity = self.library.find_unit(lib, ent_name)
+        if entity is None or entry_kind(entity) != "entity":
+            raise ElaborationError("no entity %s.%s" % (lib, ent_name))
+        if arch_name:
+            arch = self.library.find_architecture(lib, ent_name,
+                                                  arch_name)
+        else:
+            arch = self.library.latest_architecture(lib, ent_name)
+        if arch is None:
+            raise ElaborationError(
+                "no architecture %r of entity %s.%s"
+                % (arch_name or "<default>", lib, ent_name))
+        return entity, arch
+
+    # -- entry points ----------------------------------------------------------------------
+
+    def elaborate_architecture(self, entity, arch, path, generics=None,
+                               ports=None, config_rows=()):
+        self._load_packages()
+        ctx = ElabContext(self, path, generics, ports, arch,
+                          config_rows)
+        ns = load_model(arch.py_source,
+                        "%s(%s)" % (arch.name, entity.name),
+                        extra_globals=self._package_ns)
+        ns["elaborate"](ctx)
+        return ctx
+
+    def elaborate(self, top, arch_name=None, generics=None, lib=None):
+        """Elaborate a top unit: an entity name or a configuration
+        name.  Returns a :class:`Simulation`."""
+        lib = lib or self.library.work
+        config_rows = ()
+        node = self.library.find_unit(lib, top)
+        if node is None:
+            raise ElaborationError("no unit %r in library %r"
+                                   % (top, lib))
+        if entry_kind(node) == "configuration":
+            config_rows = [tuple(row) for row in node.bindings]
+            entity = node.entity or self.library.find_unit(
+                lib, node.entity_name)
+            # The configuration's ``for <arch>`` row names the arch.
+            arch_name = arch_name or (
+                node.bindings[0][0] if node.bindings else None)
+            if arch_name:
+                arch = self.library.find_architecture(
+                    lib, entity.name, arch_name)
+            else:
+                arch = self.library.latest_architecture(lib, entity.name)
+        elif entry_kind(node) == "entity":
+            entity = node
+            if arch_name:
+                arch = self.library.find_architecture(lib, top, arch_name)
+            else:
+                arch = self.library.latest_architecture(lib, top)
+        else:
+            raise ElaborationError(
+                "unit %r is a %s, not an entity or configuration"
+                % (top, entry_kind(node)))
+        if arch is None:
+            raise ElaborationError(
+                "entity %r has no compiled architecture" % top)
+        path = SEPARATOR + entity.name
+        self.names.register(path, "instance", (entity.name, arch.name))
+        self.elaborate_architecture(entity, arch, path,
+                                    generics=generics,
+                                    config_rows=config_rows)
+        return Simulation(self.kernel, self.names)
+
+
+class Simulation:
+    """A ready-to-run simulation: kernel plus name server."""
+
+    def __init__(self, kernel, names):
+        self.kernel = kernel
+        self.names = names
+
+    def run(self, until_fs=None, max_cycles=None):
+        return self.kernel.run(until=until_fs, max_cycles=max_cycles)
+
+    def signal(self, name):
+        """Find a signal by suffix (e.g. 'count') or full path."""
+        obj = self.names.lookup(name)
+        if obj is not None:
+            return obj
+        paths = self.names.by_suffix(name)
+        signals = [self.names.lookup(p) for p in paths
+                   if self.names.kind_of(p) == "signal"]
+        if len(signals) == 1:
+            return signals[0]
+        if not signals:
+            raise KeyError("no signal %r" % name)
+        raise KeyError("ambiguous signal %r: %s" % (name, paths))
+
+    def value(self, name):
+        return self.signal(name).value
+
+    @property
+    def now(self):
+        return self.kernel.now

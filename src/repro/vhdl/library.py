@@ -1,0 +1,208 @@
+"""Design libraries and separate compilation.
+
+"The compiler accepts a file containing compilation units, a list of
+compiler directives, a working library where the successfully compiled
+units are placed and a reference library which can be referenced in
+addition to the work library but which can not be updated."
+
+The manager tracks compile order because §3.3's default-configuration
+rule is *usage-history* dependent: "the default for an architecture
+name in the binding of a component to an entity-architecture is the
+latest compiled architecture for that entity", which "makes the VHDL
+description itself non-deterministic" — benchmark E5 and the
+separate-compilation example exercise exactly this.
+
+Units are stored as VIF payloads (plus generated Python/C text); the
+shared :class:`repro.vif.io.VIFReader` resolves foreign references so
+a declaration read from two different units is one node object.
+"""
+
+import json
+import os
+
+from ..vif.io import VIFReader, VIFWriter, dump_unit
+from .stdpkg import standard
+from .symtab import entry_kind
+
+
+def unit_key(node):
+    """Storage key for a unit node."""
+    kind = entry_kind(node)
+    if kind == "architecture":
+        return "%s(%s)" % (node.name, node.entity_name)
+    if kind == "package_body":
+        return "body(%s)" % node.name
+    return node.name
+
+
+class LibraryError(Exception):
+    """Missing library/unit or an attempt to update a reference library."""
+
+
+class LibraryManager:
+    """A set of design libraries (in memory, optionally disk-backed)."""
+
+    def __init__(self, root=None, work="work", reference_libs=()):
+        self.root = root
+        self.work = work
+        self._units = {}      # (lib, key) -> unit node
+        self._payloads = {}   # (lib, key) -> VIF payload
+        self._libraries = {work, "std"}
+        self._libraries.update(reference_libs)
+        self._read_only = set(reference_libs) | {"std"}
+        self.compile_order = []  # (lib, key) in registration order
+        self.reader = VIFReader(self._load_payload)
+        std = standard()
+        self._units[("std", "standard")] = std.package
+        self._payloads[("std", "standard")] = std.payload
+        self.compile_order.append(("std", "standard"))
+        if root is not None:
+            self._load_root()
+
+    # -- queries ---------------------------------------------------------------
+
+    def has_library(self, name):
+        return name in self._libraries
+
+    def add_library(self, name, read_only=False):
+        self._libraries.add(name)
+        if read_only:
+            self._read_only.add(name)
+
+    def find_unit(self, lib, name):
+        """A primary unit by simple name (entity/package/config)."""
+        return self._units.get((lib, name))
+
+    def find_architecture(self, lib, entity_name, arch_name):
+        return self._units.get(
+            (lib, "%s(%s)" % (arch_name, entity_name)))
+
+    def find_package_body(self, lib, pkg_name):
+        return self._units.get((lib, "body(%s)" % pkg_name))
+
+    def units_of(self, lib):
+        """(key, node) pairs of one library, in compile order."""
+        return [
+            (key, self._units[(l, key)])
+            for l, key in self.compile_order
+            if l == lib
+        ]
+
+    def latest_architecture(self, lib, entity_name):
+        """The §3.3 default rule: latest *compiled* architecture."""
+        suffix = "(%s)" % entity_name
+        latest = None
+        for l, key in self.compile_order:
+            if l == lib and key.endswith(suffix):
+                latest = self._units[(l, key)]
+        return latest
+
+    def architectures_of(self, lib, entity_name):
+        suffix = "(%s)" % entity_name
+        return [
+            self._units[(l, key)]
+            for l, key in self.compile_order
+            if l == lib and key.endswith(suffix)
+        ]
+
+    def configurations_for(self, lib, entity_name):
+        """Configuration units targeting an entity, in compile order."""
+        out = []
+        for l, key in self.compile_order:
+            node = self._units[(l, key)]
+            if l == lib and entry_kind(node) == "configuration" \
+                    and node.entity_name == entity_name:
+                out.append(node)
+        return out
+
+    # -- registration ------------------------------------------------------------
+
+    def register_unit(self, lib, node):
+        """Place a successfully compiled unit into a library.
+
+        Recompiling a unit replaces it; compile order is extended, so
+        the latest-architecture default tracks usage history.
+        """
+        if lib in self._read_only:
+            raise LibraryError(
+                "library %r is a reference library and cannot be "
+                "updated" % lib)
+        if lib not in self._libraries:
+            raise LibraryError("unknown library %r" % lib)
+        key = unit_key(node)
+        writer = VIFWriter(lib, key)
+        payload = writer.write({"unit": node})
+        self._units[(lib, key)] = node
+        self._payloads[(lib, key)] = payload
+        self.compile_order.append((lib, key))
+        if self.root is not None:
+            self._store(lib, key, node, payload)
+        return key
+
+    # -- VIF access -----------------------------------------------------------------
+
+    def _load_payload(self, lib, key):
+        payload = self._payloads.get((lib, key))
+        if payload is None and self.root is not None:
+            path = self._path(lib, key, "vif.json")
+            if os.path.exists(path):
+                with open(path) as f:
+                    payload = json.load(f)
+                self._payloads[(lib, key)] = payload
+        return payload
+
+    def payload_of(self, lib, key):
+        return self._load_payload(lib, key)
+
+    def dump_vif(self, lib, key):
+        """The human-readable VIF form of a stored unit."""
+        payload = self._load_payload(lib, key)
+        if payload is None:
+            raise LibraryError("no VIF for %s.%s" % (lib, key))
+        return dump_unit(payload)
+
+    def read_foreign(self, lib, key):
+        """Re-read a unit through the VIF reader (foreign-reference
+        path; used by benches to measure VIF time)."""
+        return self.reader.read_unit(lib, key)["unit"]
+
+    # -- disk persistence ----------------------------------------------------------
+
+    def _path(self, lib, key, suffix):
+        safe = "".join(ch if ch.isalnum() or ch in "()._-" else "_"
+                       for ch in key)
+        return os.path.join(self.root, lib, "%s.%s" % (safe, suffix))
+
+    def _store(self, lib, key, node, payload):
+        os.makedirs(os.path.join(self.root, lib), exist_ok=True)
+        with open(self._path(lib, key, "vif.json"), "w") as f:
+            json.dump(payload, f, indent=1)
+        py = getattr(node, "py_source", "")
+        if py:
+            with open(self._path(lib, key, "py"), "w") as f:
+                f.write(py)
+        c = getattr(node, "c_source", "")
+        if c:
+            with open(self._path(lib, key, "c"), "w") as f:
+                f.write(c)
+
+    def _load_root(self):
+        if not os.path.isdir(self.root):
+            return
+        for lib in sorted(os.listdir(self.root)):
+            lib_dir = os.path.join(self.root, lib)
+            if not os.path.isdir(lib_dir):
+                continue
+            self._libraries.add(lib)
+            for fname in sorted(os.listdir(lib_dir)):
+                if not fname.endswith(".vif.json"):
+                    continue
+                key = fname[: -len(".vif.json")]
+                roots = self.reader.read_unit(lib, key)
+                node = roots["unit"]
+                self._units[(lib, key)] = node
+                self.compile_order.append((lib, key))
+                py_path = self._path(lib, key, "py")
+                if os.path.exists(py_path):
+                    with open(py_path) as f:
+                        node.py_source = f.read()

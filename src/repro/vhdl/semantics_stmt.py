@@ -1,0 +1,418 @@
+"""Out-of-line semantic functions: sequential and concurrent statements.
+
+Statement rules in the principal AG receive LEF token lists for the
+expressions they contain and call ``exprEval`` (via the compile
+context) with the appropriate mode and expected type, then assemble
+generated code — the exact shape of the paper's example production::
+
+    stmt.CODE = TextOf("if( %t ){%t}", EXPR_CODE, stmts.CODE)
+
+Results are :class:`SRes` records: code lines, messages, the set of
+python names written (for ``nonlocal`` computation in nested
+subprograms), whether a wait occurs (process safety), and the signals
+read (for concurrent-statement sensitivity inference).
+"""
+
+from . import vtypes
+from .semantics_decl import indent, ln
+
+
+class SRes:
+    """Generated-code result of one (list of) statement(s)."""
+
+    __slots__ = ("code", "msgs", "writes", "haswait", "sigs")
+
+    def __init__(self, code=(), msgs=(), writes=(), haswait=False,
+                 sigs=()):
+        self.code = list(code)
+        self.msgs = list(msgs)
+        self.writes = frozenset(writes)
+        self.haswait = haswait
+        self.sigs = frozenset(sigs)
+
+    @staticmethod
+    def merge(a, b):
+        return SRes(a.code + b.code, a.msgs + b.msgs,
+                    a.writes | b.writes, a.haswait or b.haswait,
+                    a.sigs | b.sigs)
+
+
+EMPTY = SRes()
+
+
+def _msg(line, text):
+    return "line %d: %s" % (line, text)
+
+
+def _bool_cond(lef, env, cc, line, out_msgs, out_sigs):
+    goal = cc.eval_expr(lef, env, line, expected=cc.std.boolean)
+    out_msgs.extend(goal.get("msgs", ()))
+    out_sigs.update(goal.get("sigs", ()))
+    return goal.get("code", "0")
+
+
+# -- assignments -------------------------------------------------------------------
+
+
+def _target_update_code(lv, value_code, read_code):
+    """Build the updated composite value for a path assignment."""
+    code = read_code
+    steps = list(lv.path)
+    if not steps:
+        return value_code
+    # Single-step paths cover the subset (a(i) / a.f / a(h downto l)).
+    step_kind, info = steps[-1]
+    prefix = read_code
+    for kind, inner in steps[:-1]:
+        if kind == "index":
+            prefix = "ops.index(%s, %s)" % (prefix, inner.code)
+        elif kind == "field":
+            prefix = "ops.field(%s, %r)" % (prefix, inner)
+    del code
+    if step_kind == "index":
+        updated = "ops.array_update(%s, %s, %s)" % (
+            prefix, info.code, value_code)
+    elif step_kind == "field":
+        updated = "ops.record_update(%s, %r, %s)" % (
+            prefix, info, value_code)
+    else:  # slice
+        left, direction, right = info
+        updated = "ops.slice_update(%s, %s, %r, %s, %s)" % (
+            prefix, left.code, direction, right.code, value_code)
+    # Rebuild outward for nested paths.
+    for kind, inner in reversed(steps[:-1]):
+        raise NotImplementedError  # depth-2 paths not in the subset
+    return updated
+
+
+def _rebound_code(value_code, vtype):
+    """Wrap an assigned array value so it takes the target subtype's
+    bounds (VHDL's implicit subtype conversion on assignment)."""
+    rng = getattr(vtype, "index_range", None) if vtype is not None \
+        else None
+    if rng is None or not isinstance(rng.left, int):
+        return value_code
+    # Literal constructors already carry the right bounds.
+    if value_code.startswith(("VArray(", "ops.fill(", "ops.array_from(")):
+        return value_code
+    return "ops.rebound(%s, %r, %r, %r)" % (
+        value_code, rng.left, rng.direction, rng.right)
+
+
+def signal_assign(target_lef, wave, transport, env, cc, line,
+                  guard_code=None):
+    """``target <= [transport] v1 after t1, v2 after t2 ;``
+
+    ``wave`` is a list of (value_lef, after_lef_or_None).
+    """
+    msgs = []
+    sigs = set()
+    tgt = cc.eval_target(target_lef, env, line)
+    msgs.extend(tgt.get("msgs", ()))
+    if not tgt.get("ok"):
+        return SRes((), msgs, (), False, ())
+    lv = tgt["lvalue"]
+    base = lv.base
+    if not base.is_signal:
+        msgs.append(_msg(line, "target of <= is not a signal"))
+        return SRes((), msgs, (), False, ())
+    expected = tgt.get("type")
+    elems = []
+    for value_lef, after_lef in wave:
+        vgoal = cc.eval_expr(value_lef, env, line, expected=expected)
+        msgs.extend(vgoal.get("msgs", ()))
+        sigs.update(vgoal.get("sigs", ()))
+        delay = "0"
+        if after_lef is not None:
+            agoal = cc.eval_expr(after_lef, env, line,
+                                 expected=cc.std.time)
+            msgs.extend(agoal.get("msgs", ()))
+            sigs.update(agoal.get("sigs", ()))
+            delay = agoal.get("code", "0")
+        value_code = vgoal.get("code", "None")
+        if lv.path:
+            value_code = _target_update_code(
+                lv, value_code, "rt.read(%s)" % base.py)
+        else:
+            value_code = _rebound_code(value_code, expected)
+        elems.append("(%s, %s)" % (value_code, delay))
+    code_line = "rt.assign(%s, (%s,), transport=%r)" % (
+        base.py, ", ".join(elems), bool(transport))
+    lines = [ln(code_line)]
+    if guard_code is not None:
+        lines = [ln("if %s:" % guard_code)] + indent(lines)
+    return SRes(lines, msgs, (), False, sigs)
+
+
+def variable_assign(target_lef, rhs_lef, env, cc, line):
+    """``target := expr ;``"""
+    msgs = []
+    sigs = set()
+    tgt = cc.eval_target(target_lef, env, line)
+    msgs.extend(tgt.get("msgs", ()))
+    if not tgt.get("ok"):
+        return SRes((), msgs, (), False, ())
+    lv = tgt["lvalue"]
+    base = lv.base
+    if base.is_signal:
+        msgs.append(_msg(line, "target of := is a signal (use <=)"))
+        return SRes((), msgs, (), False, ())
+    if not base.is_writable:
+        msgs.append(_msg(line, "%s %s cannot be assigned"
+                         % (base.obj_class, base.name)))
+    rhs = cc.eval_expr(rhs_lef, env, line, expected=tgt.get("type"))
+    msgs.extend(rhs.get("msgs", ()))
+    sigs.update(rhs.get("sigs", ()))
+    value_code = rhs.get("code", "None")
+    if lv.path:
+        value_code = _target_update_code(lv, value_code, base.py)
+    else:
+        value_code = _rebound_code(value_code, tgt.get("type"))
+    # Range check on scalar subtypes with static bounds.
+    vtype = tgt.get("type")
+    if vtype is not None and vtype.kind == "subtype":
+        low, high = vtypes.scalar_bounds(vtype)
+        value_code = "ops.check_range(%s, %r, %r, %r)" % (
+            value_code, low, high, base.name)
+    return SRes([ln("%s = %s" % (base.py, value_code))], msgs,
+                {base.py}, False, sigs)
+
+
+# -- control flow --------------------------------------------------------------------------
+
+
+def if_stmt(arms, else_body, env, cc, line):
+    """``arms``: list of (cond_lef, SRes body); else_body: SRes|None."""
+    msgs = []
+    sigs = set()
+    lines = []
+    writes = set()
+    haswait = False
+    keyword = "if"
+    for cond_lef, body in arms:
+        cond = _bool_cond(cond_lef, env, cc, line, msgs, sigs)
+        lines.append(ln("%s %s:" % (keyword, cond)))
+        lines.extend(indent(body.code or [ln("pass")]))
+        msgs.extend(body.msgs)
+        writes |= body.writes
+        haswait = haswait or body.haswait
+        sigs |= body.sigs
+        keyword = "elif"
+    if else_body is not None:
+        lines.append(ln("else:"))
+        lines.extend(indent(else_body.code or [ln("pass")]))
+        msgs.extend(else_body.msgs)
+        writes |= else_body.writes
+        haswait = haswait or else_body.haswait
+        sigs |= else_body.sigs
+    return SRes(lines, msgs, writes, haswait, sigs)
+
+
+def case_stmt(selector_lef, alternatives, env, cc, line):
+    """``alternatives``: list of (choice_lef_lists, SRes body); a
+    choice LEF of None means OTHERS position handled via eval_choice.
+    """
+    msgs = []
+    sigs = set()
+    sel = cc.eval_expr(selector_lef, env, line)
+    msgs.extend(sel.get("msgs", ()))
+    sigs.update(sel.get("sigs", ()))
+    sel_type = sel.get("type")
+    tmp = cc.gensym("_case")
+    lines = [ln("%s = %s" % (tmp, sel.get("code", "None")))]
+    writes = set()  # tmp is local to the statement, never uplevel
+    haswait = False
+    keyword = "if"
+    seen_others = False
+    covered = []
+    for choice_lefs, body in alternatives:
+        vals = []
+        others = False
+        for clef in choice_lefs:
+            goal = cc.eval_choice(clef, env, line, expected=sel_type)
+            msgs.extend(goal.get("msgs", ()))
+            if goal.get("others"):
+                others = True
+            else:
+                vals.extend(goal.get("vals", ()))
+        msgs.extend(body.msgs)
+        writes |= body.writes
+        haswait = haswait or body.haswait
+        sigs |= body.sigs
+        if others:
+            seen_others = True
+            lines.append(ln("else:" if covered else "if True:"))
+        else:
+            covered.extend(vals)
+            cond = "%s in (%s)" % (
+                tmp, ", ".join(repr(v) for v in vals) + ("," if vals else ""))
+            lines.append(ln("%s %s:" % (keyword, cond)))
+            keyword = "elif"
+        lines.extend(indent(body.code or [ln("pass")]))
+    if not seen_others and sel_type is not None \
+            and vtypes.is_scalar(sel_type):
+        low, high = vtypes.scalar_bounds(sel_type)
+        if len(set(covered)) < (high - low + 1):
+            msgs.append(_msg(
+                line, "case does not cover all choices and has no "
+                "others"))
+    return SRes(lines, msgs, writes, haswait, sigs)
+
+
+def loop_param_py(param_name, line):
+    """Deterministic python name for a loop parameter.
+
+    Deterministic (name + line) rather than gensym'd, because two
+    independent semantic rules — the body's inherited ENV and the
+    statement's synthesized code — must derive the same name.  A fresh
+    name (not ``v_<name>``) so an outer homonym keeps its value after
+    the loop, as VHDL scoping requires.
+    """
+    return "v_%s_l%d" % (param_name, line)
+
+
+def loop_env(param_name, range_lef, env, cc, line):
+    """The environment inside a for loop: parameter bound."""
+    from ..vif.nodes import ObjectEntry
+
+    rng = cc.eval_range(range_lef, env, line)
+    entry = ObjectEntry(name=param_name, obj_class="loopvar",
+                        vtype=rng.get("type") or cc.std.integer,
+                        py=loop_param_py(param_name, line), line=line)
+    return env.enter_scope().bind(param_name, entry)
+
+
+def for_loop(param_name, range_lef, body, env, cc, line):
+    """``for i in range loop ... end loop`` (body already evaluated
+    under :func:`loop_env`)."""
+    msgs = []
+    rng = cc.eval_range(range_lef, env, line)
+    msgs.extend(rng.get("msgs", ()))
+    py = loop_param_py(param_name, line)
+    msgs.extend(body.msgs)
+    head = "for %s in ops.iter_range(%s, %r, %s):" % (
+        py, rng.get("left_code", "0"), rng.get("direction", "to"),
+        rng.get("right_code", "0"))
+    lines = [ln(head)] + indent(body.code or [ln("pass")])
+    # The loop parameter is local wherever the loop appears — it must
+    # not leak into the write set, or a nested subprogram containing
+    # the loop would emit a bogus ``nonlocal``.
+    return SRes(lines, msgs, body.writes - {py}, body.haswait,
+                body.sigs | frozenset(rng.get("sigs", ())))
+
+
+def while_loop(cond_lef, body, env, cc, line):
+    msgs = []
+    sigs = set()
+    if cond_lef is None:
+        head = "while True:"
+    else:
+        cond = _bool_cond(cond_lef, env, cc, line, msgs, sigs)
+        head = "while %s:" % cond
+    msgs.extend(body.msgs)
+    lines = [ln(head)] + indent(body.code or [ln("pass")])
+    return SRes(lines, msgs, body.writes, body.haswait,
+                body.sigs | sigs)
+
+
+def next_or_exit(which, cond_lef, env, cc, line):
+    stmt = "continue" if which == "next" else "break"
+    if cond_lef is None:
+        return SRes([ln(stmt)])
+    msgs = []
+    sigs = set()
+    cond = _bool_cond(cond_lef, env, cc, line, msgs, sigs)
+    return SRes([ln("if %s:" % cond), ln(stmt, 1)], msgs, (), False,
+                sigs)
+
+
+# -- waits, asserts, calls, return -----------------------------------------------------------
+
+
+def wait_stmt(on_lefs, until_lef, for_lef, env, cc, line):
+    msgs = []
+    sig_codes = []
+    sigs = set()
+    for name_lef in on_lefs:
+        tgt = cc.eval_target(name_lef, env, line)
+        msgs.extend(tgt.get("msgs", ()))
+        lv = tgt.get("lvalue")
+        if lv is None or not lv.base.is_signal:
+            msgs.append(_msg(line, "wait on non-signal"))
+            continue
+        sig_codes.append(lv.base.py)
+        sigs.add(lv.base.py)
+    cond_code = "None"
+    if until_lef is not None:
+        goal = cc.eval_expr(until_lef, env, line,
+                            expected=cc.std.boolean)
+        msgs.extend(goal.get("msgs", ()))
+        cond_code = "lambda: %s" % goal.get("code", "1")
+        if not sig_codes:
+            # wait until C: sensitivity is the signals in C.
+            sig_codes = sorted(goal.get("sigs", ()))
+        sigs.update(goal.get("sigs", ()))
+    timeout_code = "None"
+    if for_lef is not None:
+        goal = cc.eval_expr(for_lef, env, line, expected=cc.std.time)
+        msgs.extend(goal.get("msgs", ()))
+        timeout_code = goal.get("code", "None")
+        sigs.update(goal.get("sigs", ()))
+    code = "yield rt.wait([%s], %s, %s)" % (
+        ", ".join(sig_codes), cond_code, timeout_code)
+    return SRes([ln(code)], msgs, (), True, sigs)
+
+
+def assert_stmt(cond_lef, report_lef, severity_lef, env, cc, line):
+    msgs = []
+    sigs = set()
+    cond = _bool_cond(cond_lef, env, cc, line, msgs, sigs)
+    message = '"assertion violation (line %d)"' % line
+    if report_lef is not None:
+        goal = cc.eval_expr(report_lef, env, line,
+                            expected=cc.std.string)
+        msgs.extend(goal.get("msgs", ()))
+        if goal.get("has_val") and goal["val"] is not None:
+            chars = getattr(goal["val"], "elems", None)
+            if chars is not None:
+                message = repr("".join(chr(c) for c in chars))
+        else:
+            msgs.append(_msg(
+                line, "report expression must be a static string"))
+    severity = "error"
+    if severity_lef is not None:
+        goal = cc.eval_expr(severity_lef, env, line,
+                            expected=cc.std.severity_level)
+        msgs.extend(goal.get("msgs", ()))
+        if goal.get("has_val"):
+            severity = cc.std.severity_level.literals[goal["val"]]
+    code = "rt.assert_(%s, %s, %r)" % (cond, message, severity)
+    return SRes([ln(code)], msgs, (), False, sigs)
+
+
+def procedure_call(call_lef, env, cc, line):
+    goal = cc.eval_call(call_lef, env, line)
+    msgs = list(goal.get("msgs", ()))
+    if not goal.get("ok"):
+        return SRes((), msgs or [_msg(line, "bad procedure call")],
+                    (), False, ())
+    writes = set()
+    code = goal.get("code", "")
+    if " = " in code.split("(")[0]:
+        writes = {n.strip() for n in
+                  code.split(" = ")[0].split(",")}
+    return SRes([ln(code)], msgs, writes, False,
+                frozenset(goal.get("sigs", ())))
+
+
+def return_stmt(value_lef, expected, env, cc, line):
+    if value_lef is None:
+        return SRes([ln("return")])
+    goal = cc.eval_expr(value_lef, env, line, expected=expected)
+    return SRes([ln("return %s" % goal.get("code", "None"))],
+                list(goal.get("msgs", ())), (), False,
+                frozenset(goal.get("sigs", ())))
+
+
+def null_stmt():
+    return SRes([ln("pass")])

@@ -1,0 +1,32 @@
+"""VIF — the VHDL Intermediate Format (§2.2, §4.3).
+
+"Our compiler supports a machine-readable intermediate language that is
+generated for each separately-compilable unit and read in when that
+unit is referenced from another. ... The structure of the VIF is
+described in a special-purpose, declarative notation that is read by
+yet another special-purpose program that generates declarations for
+this data, and generates C code that manipulates the VIF."
+
+The pieces, mirroring that architecture:
+
+- ``schema.vif`` — the declarative notation describing every node kind.
+- :mod:`repro.vif.schema_lang` — the processor for that notation,
+  itself written as an attribute grammar over :mod:`repro.ag` (the
+  paper's footnote: "this program is also written as an AG ... when one
+  receives a hammer, one begins to see the world as a nail").
+- :mod:`repro.vif.generator` — generates the Python source for node
+  class declarations and the per-kind manipulation tables.
+- :mod:`repro.vif.nodes` — loads the schema, generates and executes
+  that source, and exposes the node classes.
+- :mod:`repro.vif.io` — writes VIF to disk, reads it back *resolving
+  nested foreign references*, and produces the human-readable dump.
+
+In this compiler, as in the paper's, the VIF **is** the symbol table:
+environment bindings point at VIF nodes, and "once built, the VIF can
+not be changed".
+"""
+
+from .core import Node, VIFError
+from .io import VIFReader, VIFWriter, dump_unit
+
+__all__ = ["Node", "VIFError", "VIFReader", "VIFWriter", "dump_unit"]

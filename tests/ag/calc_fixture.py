@@ -1,0 +1,56 @@
+"""A small arithmetic attribute grammar shared by the ag test modules.
+
+The grammar exercises every toolkit feature the VHDL AGs rely on:
+plain attributes, an inherited attribute class (copy rules), a
+synthesized class with merge-function and unit-element, lexical token
+attributes, and occurrence indexing (``expr0``/``expr1``).
+"""
+
+from repro.ag import AGSpec, LexerSpec, SYN, INH
+
+
+def make_lexer():
+    lex = LexerSpec("calc")
+    lex.skip(r"\s+")
+    lex.token("NUM", r"\d+", action=int)
+    lex.token("ID", r"[a-z]+")
+    lex.token("PLUS", r"\+")
+    lex.token("MINUS", r"-")
+    lex.token("TIMES", r"\*")
+    lex.token("LP", r"\(")
+    lex.token("RP", r"\)")
+    return lex.build()
+
+
+def make_spec():
+    g = AGSpec("calc")
+    g.terminals("NUM", "ID", "PLUS", "MINUS", "TIMES", "LP", "RP")
+    g.attr_class("NODES", SYN, merge=lambda a, b: a + b, unit=0)
+    g.attr_class("env", INH)
+    for nt in ("expr", "term", "factor"):
+        g.nonterminal(nt, ("val", SYN), "NODES", "env")
+
+    p = g.production("e_add", "expr -> expr0 PLUS term")
+    p.rule("expr0.val", "expr1.val", "term.val", fn=lambda a, b: a + b)
+    p = g.production("e_sub", "expr -> expr0 MINUS term")
+    p.rule("expr0.val", "expr1.val", "term.val", fn=lambda a, b: a - b)
+    p = g.production("e_term", "expr -> term")
+    p.copy("expr.val", "term.val")
+    p = g.production("t_mul", "term -> term0 TIMES factor")
+    p.rule("term0.val", "term1.val", "factor.val", fn=lambda a, b: a * b)
+    p = g.production("t_fac", "term -> factor")
+    p.copy("term.val", "factor.val")
+    p = g.production("f_num", "factor -> NUM")
+    p.rule("factor.val", "NUM.value", fn=lambda v: v)
+    p.const("factor.NODES", 1)
+    p = g.production("f_id", "factor -> ID")
+    p.rule("factor.val", "ID.text", "factor.env",
+           fn=lambda name, env: env[name])
+    p.const("factor.NODES", 1)
+    p = g.production("f_paren", "factor -> LP expr RP")
+    p.copy("factor.val", "expr.val")
+    return g
+
+
+def make_compiled():
+    return make_spec().finish()

@@ -1,0 +1,159 @@
+"""Tests for cascaded evaluation (§4.1).
+
+The scenario mirrors the paper's: a *principal* AG that resolves
+identifiers through its symbol table and emits a flat token list whose
+token kinds depend on what names denote, and a *sub* AG that re-parses
+that list.  ``X ( Y )`` parses as a call when X is a function and as an
+array index when X is an array — two different phrase structures for
+identical source text.
+"""
+
+import pytest
+
+from repro.ag import AGSpec, ParseError, SubEvaluator, SYN, INH, Token
+
+
+def make_expression_ag():
+    """The sub-grammar: distinct FUNC/ARR tokens drive phrase structure."""
+    g = AGSpec("sub_expr")
+    g.terminals("FUNC", "ARR", "NUM", "LP", "RP")
+    g.nonterminal("e", ("shape", SYN), ("val", SYN))
+    g.nonterminal("arg", ("shape", SYN), ("val", SYN))
+    p = g.production("e_call", "e -> FUNC LP arg RP")
+    p.rule("e.shape", "arg.shape", fn=lambda s: "call(%s)" % s)
+    p.rule("e.val", "FUNC.value", "arg.val", fn=lambda f, v: f(v))
+    p = g.production("e_index", "e -> ARR LP arg RP")
+    p.rule("e.shape", "arg.shape", fn=lambda s: "index(%s)" % s)
+    p.rule("e.val", "ARR.value", "arg.val", fn=lambda a, i: a[i])
+    p = g.production("e_num", "e -> NUM")
+    p.const("e.shape", "num")
+    p.rule("e.val", "NUM.value", fn=lambda v: v)
+    p = g.production("arg_e", "arg -> e")
+    p.copy("arg.shape", "e.shape")
+    p.copy("arg.val", "e.val")
+    return g.finish()
+
+
+@pytest.fixture(scope="module")
+def sub():
+    return SubEvaluator(make_expression_ag())
+
+
+def classify(name, env):
+    """The principal AG's ENV lookup: same source text, different token."""
+    obj = env[name]
+    kind = "FUNC" if callable(obj) else "ARR"
+    return Token(kind, name, obj)
+
+
+class TestSubEvaluator:
+    def test_function_denotation_parses_as_call(self, sub):
+        env = {"x": lambda v: v + 1}
+        lef = [classify("x", env), Token("LP", "("),
+               Token("NUM", "5", 5), Token("RP", ")")]
+        out = sub(lef)
+        assert out["shape"] == "call(num)"
+        assert out["val"] == 6
+
+    def test_array_denotation_parses_as_index(self, sub):
+        env = {"x": [10, 20, 30]}
+        lef = [classify("x", env), Token("LP", "("),
+               Token("NUM", "2", 2), Token("RP", ")")]
+        out = sub(lef)
+        assert out["shape"] == "index(num)"
+        assert out["val"] == 30
+
+    def test_identical_source_different_phrase_structure(self, sub):
+        """The paper's headline example: X ( Y ) twice, two trees."""
+        as_call = sub([classify("x", {"x": abs}), Token("LP", "("),
+                       Token("NUM", "7", -7), Token("RP", ")")])
+        as_index = sub([classify("x", {"x": {-7: "neg"}}), Token("LP", "("),
+                        Token("NUM", "7", -7), Token("RP", ")")])
+        assert as_call["shape"].startswith("call")
+        assert as_index["shape"].startswith("index")
+
+    def test_nested_cascade_token_values(self, sub):
+        env = {"f": lambda v: v * 2, "a": [1, 2, 3]}
+        lef = [
+            classify("f", env), Token("LP", "("),
+            classify("a", env), Token("LP", "("),
+            Token("NUM", "1", 1), Token("RP", ")"), Token("RP", ")"),
+        ]
+        out = sub(lef)
+        assert out["val"] == 4
+
+    def test_invocation_counter(self):
+        sub = SubEvaluator(make_expression_ag())
+        sub([Token("NUM", "1", 1)])
+        sub([Token("NUM", "2", 2)])
+        assert sub.invocations == 2
+
+    def test_parse_error_propagates(self, sub):
+        with pytest.raises(ParseError):
+            sub([Token("LP", "(")])
+
+    def test_try_call_maps_errors(self, sub):
+        result = sub.try_call(
+            [Token("LP", "(")],
+            on_error=lambda exc: {"shape": "error", "val": None,
+                                  "msg": str(exc)},
+        )
+        assert result["shape"] == "error"
+        assert "unexpected" in result["msg"]
+
+    def test_goal_restriction(self):
+        sub = SubEvaluator(make_expression_ag(), goals=["val"])
+        out = sub([Token("NUM", "9", 9)])
+        assert out == {"val": 9}
+
+
+class TestCascadeFromPrincipalRules:
+    """Drive the sub-evaluator from semantic rules of a principal AG,
+    exactly as the VHDL AG calls exprEval."""
+
+    def make_principal(self, sub):
+        g = AGSpec("principal")
+        g.terminals("NAME", "NUM", "LP", "RP", "SEMI")
+        g.attr_class("env", INH)
+        g.nonterminal("prog", ("results", SYN), "env")
+        g.nonterminal("stmt", ("result", SYN), "env")
+        g.nonterminal("lef", ("toks", SYN), "env")
+
+        p = g.production("prog_one", "prog -> stmt SEMI")
+        p.rule("prog.results", "stmt.result", fn=lambda r: [r])
+        p = g.production("prog_more", "prog -> prog0 stmt SEMI")
+        p.rule("prog0.results", "prog1.results", "stmt.result",
+               fn=lambda rs, r: rs + [r])
+        p = g.production("stmt_expr", "stmt -> lef")
+        p.rule("stmt.result", "lef.toks", fn=lambda toks: sub(toks)["val"])
+        p = g.production("lef_name", "lef -> lef0 NAME")
+        p.rule("lef0.toks", "lef1.toks", "NAME.text", "lef0.env",
+               fn=lambda ts, n, env: ts + [classify(n, env)])
+        p = g.production("lef_num", "lef -> lef0 NUM")
+        p.rule("lef0.toks", "lef1.toks", "NUM.value",
+               fn=lambda ts, v: ts + [Token("NUM", str(v), v)])
+        p = g.production("lef_lp", "lef -> lef0 LP")
+        p.rule("lef0.toks", "lef1.toks", fn=lambda ts: ts + [Token("LP", "(")])
+        p = g.production("lef_rp", "lef -> lef0 RP")
+        p.rule("lef0.toks", "lef1.toks", fn=lambda ts: ts + [Token("RP", ")")])
+        p = g.production("lef_empty", "lef ->")
+        p.rule("lef.toks", fn=list)
+        return g.finish()
+
+    def test_two_statements_two_denotations(self):
+        sub = SubEvaluator(make_expression_ag())
+        principal = self.make_principal(sub)
+        env = {"x": lambda v: v + 100, "y": [0, 5]}
+
+        def t(kind, text, value=None):
+            return Token(kind, text, value)
+
+        tokens = [
+            t("NAME", "x"), t("LP", "("), t("NUM", "1", 1), t("RP", ")"),
+            t("SEMI", ";"),
+            t("NAME", "y"), t("LP", "("), t("NUM", "1", 1), t("RP", ")"),
+            t("SEMI", ";"),
+        ]
+        out = principal.run(tokens, inherited={"env": env})
+        assert out["results"] == [101, 5]
+        assert sub.invocations == 2

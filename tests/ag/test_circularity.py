@@ -1,0 +1,95 @@
+"""Circularity analysis: the conservative (absolutely-noncircular)
+test versus Knuth's exact test."""
+
+import pytest
+
+from repro.ag import AGSpec, CircularityError, SYN, INH, Token
+from repro.ag.dependency import DependencyAnalysis, knuth_circularity_test
+
+
+def truly_circular():
+    """up depends on down depends on up — circular in every tree."""
+    g = AGSpec("circ")
+    g.terminals("A")
+    g.nonterminal("s", ("x", SYN))
+    g.nonterminal("t", ("down", INH), ("up", SYN))
+    p = g.production("s_t", "s -> t")
+    p.copy("s.x", "t.up")
+    p.copy("t.down", "t.up")
+    p = g.production("t_a", "t -> A")
+    p.copy("t.up", "t.down")
+    return g.finish()
+
+
+def only_union_circular():
+    """Knuth's classic shape: two productions for ``t`` each create
+    one direction of dependency (up1<-down1 or up2<-down2), and the
+    parent uses them crosswise.  The *union* of the two projections
+    has a cycle, but no single tree does."""
+    g = AGSpec("safe")
+    g.terminals("A", "B")
+    g.nonterminal("s", ("x", SYN))
+    g.nonterminal(
+        "t", ("d1", INH), ("d2", INH), ("u1", SYN), ("u2", SYN))
+    p = g.production("s_t", "s -> t")
+    # crosswise feeding: d1 from u2, d2 from u1.
+    p.copy("t.d1", "t.u2")
+    p.copy("t.d2", "t.u1")
+    p.rule("s.x", "t.u1", "t.u2", fn=lambda a, b: (a, b))
+    p = g.production("t_a", "t -> A")
+    p.copy("t.u1", "t.d1")       # only u1 <- d1
+    p.const("t.u2", 0)
+    p = g.production("t_b", "t -> B")
+    p.copy("t.u2", "t.d2")       # only u2 <- d2
+    p.const("t.u1", 0)
+    return g.finish()
+
+
+class TestConservativeTest:
+    def test_accepts_noncircular(self):
+        from .calc_fixture import make_compiled
+
+        DependencyAnalysis(make_compiled()).check_noncircular()
+
+    def test_rejects_truly_circular(self):
+        with pytest.raises(CircularityError):
+            DependencyAnalysis(truly_circular()).check_noncircular()
+
+    def test_conservatively_rejects_union_circular(self):
+        """The union-based test cannot tell the safe grammar apart —
+        the imprecision §5.2's diagnosis pain stems from."""
+        with pytest.raises(CircularityError):
+            DependencyAnalysis(
+                only_union_circular()).check_noncircular()
+
+
+class TestKnuthExactTest:
+    def test_accepts_noncircular(self):
+        from .calc_fixture import make_compiled
+
+        assert knuth_circularity_test(make_compiled()) is None
+
+    def test_rejects_truly_circular(self):
+        result = knuth_circularity_test(truly_circular())
+        assert result is not None
+        prod, cycle = result
+        assert cycle
+
+    def test_accepts_union_circular_but_tree_safe(self):
+        """The exact test distinguishes what the conservative one
+        cannot: no derivation tree of this grammar is circular."""
+        assert knuth_circularity_test(only_union_circular()) is None
+
+    def test_safe_grammar_actually_evaluates(self):
+        """Proof by execution: the dynamic evaluator computes the
+        'union-circular' grammar on both derivation trees."""
+        compiled = only_union_circular()
+        out_a = compiled.run([Token("A", "a")])
+        out_b = compiled.run([Token("B", "b")])
+        assert out_a["x"] == (0, 0)
+        assert out_b["x"] == (0, 0)
+
+    def test_vhdl_grammars_pass_exact_test(self):
+        from repro.vhdl.expr_grammar import expr_grammar
+
+        assert knuth_circularity_test(expr_grammar()) is None

@@ -1,0 +1,198 @@
+"""Tests for attribute classes, implicit rules, and attribute groups."""
+
+import pytest
+
+from repro.ag import AGSpec, AttributeError_, SYN, INH, Token
+
+
+def concat(a, b):
+    return a + b
+
+
+class TestImplicitRules:
+    def make(self):
+        g = AGSpec("imp")
+        g.terminals("A", "B")
+        g.attr_class("MSGS", SYN, merge=concat, unit=())
+        g.attr_class("LEVEL", INH)
+        g.nonterminal("s", "MSGS", "LEVEL")
+        g.nonterminal("x", "MSGS", "LEVEL")
+        g.nonterminal("y", "MSGS", "LEVEL")
+        return g
+
+    def test_merge_rule_combines_children_left_to_right(self):
+        g = self.make()
+        g.production("s_xy", "s -> x y")
+        p = g.production("x_a", "x -> A")
+        p.rule("x.MSGS", "x.LEVEL", fn=lambda lv: ("x%d" % lv,))
+        p = g.production("y_b", "y -> B")
+        p.rule("y.MSGS", "y.LEVEL", fn=lambda lv: ("y%d" % lv,))
+        compiled = g.finish()
+        out = compiled.run(
+            [Token("A", "a"), Token("B", "b")], inherited={"LEVEL": 3}
+        )
+        assert out["MSGS"] == ("x3", "y3")
+
+    def test_copy_rule_for_single_occurrence(self):
+        g = self.make()
+        g.production("s_x", "s -> x")
+        p = g.production("x_a", "x -> A")
+        p.const("x.MSGS", ("m",))
+        compiled = g.finish()
+        out = compiled.run([Token("A", "a")], inherited={"LEVEL": 0})
+        assert out["MSGS"] == ("m",)
+        # Single-occurrence completion is a copy, not a merge.
+        rules = compiled.rules_of(compiled.grammar.production("s_x"))
+        assert rules[(0, "MSGS")].implicit == "copy"
+
+    def test_unit_rule_when_no_occurrence(self):
+        g = self.make()
+        g.production("s_a", "s -> A")
+        compiled = g.finish()
+        out = compiled.run([Token("A", "a")])
+        assert out["MSGS"] == ()
+        rules = compiled.rules_of(compiled.grammar.production("s_a"))
+        assert rules[(0, "MSGS")].implicit == "unit"
+
+    def test_inherited_copy_rule_from_lhs(self):
+        g = self.make()
+        g.production("s_x", "s -> x")
+        p = g.production("x_a", "x -> A")
+        p.rule("x.MSGS", "x.LEVEL", fn=lambda lv: (lv,))
+        compiled = g.finish()
+        out = compiled.run([Token("A", "a")], inherited={"LEVEL": 9})
+        assert out["MSGS"] == (9,)
+        rules = compiled.rules_of(compiled.grammar.production("s_x"))
+        assert rules[(1, "LEVEL")].implicit == "copy"
+
+    def test_inherited_without_lhs_source_is_an_error(self):
+        g = AGSpec("no_src")
+        g.terminals("A")
+        g.attr_class("LEVEL", INH)
+        g.nonterminal("s")  # s has no LEVEL to copy from
+        g.nonterminal("x", "LEVEL")
+        g.production("s_x", "s -> x")
+        g.production("x_a", "x -> A")
+        with pytest.raises(AttributeError_) as info:
+            g.finish()
+        assert "LEVEL" in str(info.value)
+
+    def test_explicit_rule_suppresses_implicit(self):
+        g = self.make()
+        p = g.production("s_xy", "s -> x y")
+        p.const("s.MSGS", ("explicit",))
+        p = g.production("x_a", "x -> A")
+        p.const("x.MSGS", ("x",))
+        p = g.production("y_b", "y -> B")
+        p.const("y.MSGS", ("y",))
+        compiled = g.finish()
+        out = compiled.run(
+            [Token("A", "a"), Token("B", "b")], inherited={"LEVEL": 0}
+        )
+        assert out["MSGS"] == ("explicit",)
+
+    def test_plain_attribute_missing_rule_is_an_error(self):
+        g = AGSpec("p")
+        g.terminals("A")
+        g.nonterminal("s", ("v", SYN))
+        g.production("s_a", "s -> A")
+        with pytest.raises(AttributeError_) as info:
+            g.finish()
+        assert "not in any attribute class" in str(info.value)
+
+    def test_duplicate_rule_is_an_error(self):
+        g = AGSpec("d")
+        g.terminals("A")
+        g.nonterminal("s", ("v", SYN))
+        p = g.production("s_a", "s -> A")
+        p.const("s.v", 1)
+        p.const("s.v", 2)
+        with pytest.raises(AttributeError_) as info:
+            g.finish()
+        assert "twice" in str(info.value)
+
+    def test_merge_required_for_multiple_occurrences(self):
+        g = AGSpec("m")
+        g.terminals("A")
+        g.attr_class("C", SYN, unit=0, merge=None)
+        g.nonterminal("s", "C")
+        g.nonterminal("x", "C")
+        g.production("s_xx", "s -> x x")
+        p = g.production("x_a", "x -> A")
+        p.const("x.C", 1)
+        with pytest.raises(AttributeError_) as info:
+            g.finish()
+        assert "merge" in str(info.value)
+
+    def test_implicit_rule_counts(self):
+        g = self.make()
+        g.production("s_xy", "s -> x y")
+        p = g.production("x_a", "x -> A")
+        p.rule("x.MSGS", fn=tuple)
+        p = g.production("y_b", "y -> B")
+        p.rule("y.MSGS", fn=tuple)
+        compiled = g.finish()
+        # Explicit: 2 (the two leaf MSGS). Implicit: s.MSGS merge,
+        # x.LEVEL + y.LEVEL copies = 3.
+        assert compiled.n_explicit_rules == 2
+        assert compiled.n_implicit_rules == 3
+
+
+class TestAttributeClassValidation:
+    def test_inherited_class_rejects_merge(self):
+        g = AGSpec("v")
+        with pytest.raises(AttributeError_):
+            g.attr_class("BAD", INH, merge=concat)
+
+    def test_bad_kind_rejected(self):
+        g = AGSpec("v")
+        with pytest.raises(AttributeError_):
+            g.attr_class("BAD", "sideways")
+
+    def test_duplicate_class_rejected(self):
+        g = AGSpec("v")
+        g.attr_class("C", SYN, unit=0)
+        with pytest.raises(AttributeError_):
+            g.attr_class("C", SYN, unit=0)
+
+    def test_callable_unit_makes_fresh_values(self):
+        g = AGSpec("u")
+        g.terminals("A")
+        g.attr_class("ACC", SYN, merge=concat, unit=list)
+        g.nonterminal("s", "ACC")
+        g.production("s_a", "s -> A")
+        compiled = g.finish()
+        out1 = compiled.run([Token("A", "a")])
+        out2 = compiled.run([Token("A", "a")])
+        assert out1["ACC"] == [] and out2["ACC"] == []
+        assert out1["ACC"] is not out2["ACC"]
+
+
+class TestAttributeGroups:
+    def test_group_expansion(self):
+        g = AGSpec("grp")
+        g.terminals("A")
+        g.attr_class("MSGS", SYN, merge=concat, unit=())
+        g.attr_class("ENV", INH)
+        g.attr_group("BASE", "MSGS", "ENV")
+        g.attr_group("STMT", "BASE", ("CODE", SYN))
+        sym = g.nonterminal("stmt", "STMT")
+        decls = g.attr_table.of(sym)
+        assert set(decls) == {"MSGS", "ENV", "CODE"}
+        assert decls["CODE"].kind == SYN
+        assert decls["ENV"].cls is g.classes["ENV"]
+
+    def test_unknown_group_member_rejected(self):
+        g = AGSpec("grp")
+        with pytest.raises(AttributeError_):
+            g.attr_group("BAD", "NOPE")
+            g.nonterminal("x", "BAD")
+
+    def test_nested_groups(self):
+        g = AGSpec("grp")
+        g.attr_class("A1", SYN, unit=0)
+        g.attr_group("G1", "A1")
+        g.attr_group("G2", "G1", ("b", INH))
+        g.attr_group("G3", "G2", ("c", SYN))
+        sym = g.nonterminal("n", "G3")
+        assert set(g.attr_table.of(sym)) == {"A1", "b", "c"}

@@ -1,0 +1,117 @@
+"""Tests for dependency analysis, OAG partitioning, and statistics."""
+
+import pytest
+
+from repro.ag import AGSpec, SYN, INH, Token, format_table
+from repro.ag.dependency import DependencyAnalysis
+
+from .calc_fixture import make_compiled
+
+
+class TestDependencyAnalysis:
+    def test_calc_is_noncircular(self):
+        compiled = make_compiled()
+        DependencyAnalysis(compiled).check_noncircular()
+
+    def test_symbol_graph_projects_transitive_dependencies(self):
+        g = AGSpec("proj")
+        g.terminals("A")
+        g.nonterminal("s", ("out", SYN))
+        g.nonterminal("t", ("i", INH), ("o", SYN))
+        p = g.production("s_t", "s -> t")
+        p.const("t.i", 1)
+        p.copy("s.out", "t.o")
+        p = g.production("t_a", "t -> A")
+        p.copy("t.o", "t.i")
+        compiled = g.finish()
+        dep = DependencyAnalysis(compiled)
+        graph = dep.symbol_graph("t")
+        assert "o" in graph["i"]
+
+
+class TestPartitions:
+    def test_one_visit_for_s_attributed(self):
+        compiled = make_compiled()
+        analysis = compiled.analyze()
+        assert analysis.visits["expr"] == 1
+        assert analysis.max_visits == 1
+
+    def test_partition_kinds_alternate(self):
+        compiled = make_compiled()
+        for sym, parts in compiled.analyze().partitions.items():
+            kinds = [k for k, _ in parts]
+            assert kinds[0] == INH
+            assert kinds[-1] == SYN
+            for a, b in zip(kinds, kinds[1:]):
+                assert a != b
+
+    def test_every_attribute_assigned_exactly_once(self):
+        compiled = make_compiled()
+        analysis = compiled.analyze()
+        for sym in compiled.grammar.nonterminals:
+            if sym.name == "$start":
+                continue
+            declared = set(compiled.attr_table.of(sym))
+            assigned = set(analysis.attr_visit[sym.name])
+            assert declared == assigned
+
+
+class TestPlans:
+    def test_plans_cover_every_rule_exactly_once(self):
+        compiled = make_compiled()
+        analysis = compiled.analyze()
+        for prod in compiled.grammar.productions:
+            if prod.label == "$accept":
+                continue
+            rules = set(compiled.rules_of(prod).values())
+            planned = [
+                action.rule
+                for plan in analysis.plans[prod.index]
+                for action in plan
+                if action.op == "eval"
+            ]
+            assert set(planned) == rules
+            assert len(planned) == len(rules)
+
+    def test_child_visits_in_order(self):
+        compiled = make_compiled()
+        analysis = compiled.analyze()
+        for prod in compiled.grammar.productions:
+            if prod.label == "$accept":
+                continue
+            seen = {}
+            for plan in analysis.plans[prod.index]:
+                for action in plan:
+                    if action.op == "visit":
+                        prev = seen.get(action.child_pos, 0)
+                        assert action.visit == prev + 1
+                        seen[action.child_pos] = action.visit
+
+
+class TestStatistics:
+    def test_calc_statistics_shape(self):
+        stats = make_compiled().statistics()
+        d = stats.as_dict()
+        assert d["productions"] == 8
+        assert d["symbols"] == 10  # 7 terminals + 3 nonterminals
+        assert d["attributes"] == 9
+        assert d["rules"] == d["implicit_rules"] + 8 + 2  # 10 explicit
+        assert d["max_visits"] == 1
+
+    def test_implicit_fraction(self):
+        stats = make_compiled().statistics()
+        assert 0 < stats.implicit_fraction < 1
+
+    def test_format_table_two_columns(self):
+        s = make_compiled().statistics()
+        table = format_table([s, s])
+        assert "productions" in table
+        assert table.count("calc") == 2
+
+    def test_visits_paper_convention(self):
+        # "Most symbols are only visited once" — for an S-attributed
+        # grammar every symbol is single-visit.
+        compiled = make_compiled()
+        assert all(
+            v == 1 for v in compiled.analyze().visits.values()
+        )

@@ -1,0 +1,103 @@
+"""Tests for the persistent AVL map, including balance invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.applicative import AVLMap
+from repro.applicative.avl import _balance
+
+
+def check_invariants(node):
+    """AVL balance and BST ordering for every node."""
+    if node is None:
+        return 0
+    assert abs(_balance(node)) <= 1
+    lh = check_invariants(node.left)
+    rh = check_invariants(node.right)
+    assert node.height == 1 + max(lh, rh)
+    if node.left is not None:
+        assert node.left.key < node.key
+    if node.right is not None:
+        assert node.right.key > node.key
+    return node.height
+
+
+class TestBasics:
+    def test_empty(self):
+        m = AVLMap()
+        assert len(m) == 0
+        assert not m
+        assert m.get("x") is None
+
+    def test_insert_and_get(self):
+        m = AVLMap().insert("a", 1).insert("b", 2)
+        assert m["a"] == 1
+        assert m["b"] == 2
+        assert len(m) == 2
+
+    def test_replace_existing_key(self):
+        m = AVLMap().insert("a", 1).insert("a", 2)
+        assert m["a"] == 2
+        assert len(m) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            AVLMap()["nope"]
+
+    def test_contains(self):
+        m = AVLMap().insert("k", None)
+        assert "k" in m  # even with a None value
+        assert "x" not in m
+
+    def test_items_in_key_order(self):
+        m = AVLMap.from_items([("c", 3), ("a", 1), ("b", 2)])
+        assert list(m.items()) == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_persistence_old_versions_unchanged(self):
+        m1 = AVLMap().insert("a", 1)
+        m2 = m1.insert("b", 2)
+        m3 = m2.insert("a", 99)
+        assert "b" not in m1
+        assert m2["a"] == 1
+        assert m3["a"] == 99
+
+    def test_sequential_inserts_stay_balanced(self):
+        m = AVLMap()
+        for i in range(1000):
+            m = m.insert(i, i)
+        # A pathological BST would have height 1000.
+        assert m.height() <= 15
+        check_invariants(m._root)
+
+
+class TestProperties:
+    @given(st.dictionaries(st.integers(), st.integers()))
+    def test_matches_dict_semantics(self, d):
+        m = AVLMap.from_items(d.items())
+        assert len(m) == len(d)
+        for k, v in d.items():
+            assert m[k] == v
+        assert list(m.keys()) == sorted(d.keys())
+
+    @given(st.lists(st.tuples(st.integers(), st.integers())))
+    def test_invariants_after_any_insert_sequence(self, pairs):
+        m = AVLMap.from_items(pairs)
+        check_invariants(m._root)
+
+    @given(st.lists(st.integers(), unique=True, min_size=1))
+    def test_height_logarithmic(self, keys):
+        m = AVLMap.from_items((k, None) for k in keys)
+        n = len(keys)
+        # AVL height bound: 1.44 * log2(n + 2)
+        import math
+
+        assert m.height() <= 1.45 * math.log2(n + 2) + 1
+
+    @given(st.dictionaries(st.integers(), st.integers(), min_size=1),
+           st.integers(), st.integers())
+    def test_insert_does_not_mutate_old_map(self, d, k, v):
+        m1 = AVLMap.from_items(d.items())
+        snapshot = list(m1.items())
+        m1.insert(k, v)
+        assert list(m1.items()) == snapshot

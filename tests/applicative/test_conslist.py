@@ -1,0 +1,77 @@
+"""Tests for immutable cons lists, including hypothesis properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.applicative import NIL, Cons, concat, cons, from_iterable, to_list
+
+
+class TestBasics:
+    def test_nil_is_falsy_and_empty(self):
+        assert not NIL
+        assert len(NIL) == 0
+        assert to_list(NIL) == []
+
+    def test_cons_prepends(self):
+        lst = cons(1, cons(2))
+        assert to_list(lst) == [1, 2]
+        assert len(lst) == 2
+
+    def test_from_iterable_preserves_order(self):
+        assert to_list(from_iterable([1, 2, 3])) == [1, 2, 3]
+
+    def test_sharing_tails(self):
+        tail = from_iterable([2, 3])
+        a = cons(1, tail)
+        b = cons(9, tail)
+        assert a.tail is b.tail
+
+    def test_equality(self):
+        assert from_iterable([1, 2]) == from_iterable([1, 2])
+        assert from_iterable([1]) != from_iterable([2])
+
+    def test_concat_shares_right_operand(self):
+        left = from_iterable([1])
+        right = from_iterable([2, 3])
+        joined = concat(left, right)
+        assert to_list(joined) == [1, 2, 3]
+        assert joined.tail is right
+
+    def test_concat_nil_identity(self):
+        xs = from_iterable([1, 2])
+        assert to_list(concat(NIL, xs)) == [1, 2]
+        assert to_list(concat(xs, NIL)) == [1, 2]
+
+    def test_deep_list_iteration(self):
+        n = 50000
+        lst = from_iterable(range(n))
+        assert len(lst) == n
+        assert sum(lst) == sum(range(n))
+
+
+class TestProperties:
+    @given(st.lists(st.integers()), st.lists(st.integers()))
+    def test_concat_is_list_concatenation(self, xs, ys):
+        assert to_list(
+            concat(from_iterable(xs), from_iterable(ys))
+        ) == xs + ys
+
+    @given(st.lists(st.integers()),
+           st.lists(st.integers()),
+           st.lists(st.integers()))
+    def test_concat_associative(self, xs, ys, zs):
+        a, b, c = (from_iterable(v) for v in (xs, ys, zs))
+        assert to_list(concat(concat(a, b), c)) == to_list(
+            concat(a, concat(b, c))
+        )
+
+    @given(st.lists(st.integers()))
+    def test_roundtrip(self, xs):
+        assert to_list(from_iterable(xs)) == xs
+
+    @given(st.lists(st.integers()), st.integers())
+    def test_cons_does_not_mutate(self, xs, x):
+        base = from_iterable(xs)
+        before = to_list(base)
+        cons(x, base)
+        assert to_list(base) == before

@@ -1,0 +1,347 @@
+"""Tests for the simulation kernel: cycles, deltas, waits, timeouts."""
+
+import pytest
+
+from repro.sim import Kernel, SimulationError
+
+
+NS = 10**6  # fs per ns
+
+
+def make_clock(k, sig, half_period):
+    rt = k.rt
+
+    def proc():
+        while True:
+            rt.assign(sig, ((1 - rt.read(sig), half_period),))
+            yield rt.wait([sig])
+
+    k.process("clock", proc)
+
+
+class TestBasicCycles:
+    def test_clock_toggles(self):
+        k = Kernel()
+        clk = k.signal("clk", 0)
+        make_clock(k, clk, 5 * NS)
+        k.run(until=7 * NS)
+        assert clk.value == 1
+        k.run(until=12 * NS)
+        assert clk.value == 0
+
+    def test_quiescent_simulation_stops(self):
+        k = Kernel()
+        k.signal("s", 0)
+        end = k.run()
+        assert end == 0
+
+    def test_event_vs_active(self):
+        k = Kernel()
+        s = k.signal("s", 0)
+        rt = k.rt
+        seen = []
+
+        def driver():
+            rt.assign(s, ((0, 1 * NS), (1, 2 * NS)))  # first is no-change
+            yield rt.wait([], None, None)
+
+        def watcher():
+            while True:
+                yield rt.wait([s], None, 10 * NS)
+                seen.append((k.now, rt.event(s), rt.active(s)))
+
+        k.process("driver", driver)
+        k.process("watcher", watcher)
+        k.run(until=3 * NS)
+        # The no-change transaction at 1ns makes s active but not an
+        # event; the watcher only wakes on events or timeout.
+        assert (2 * NS, 1, 1) in seen
+
+    def test_last_value(self):
+        k = Kernel()
+        s = k.signal("s", 5)
+        rt = k.rt
+
+        def driver():
+            rt.assign(s, ((9, NS),))
+            yield rt.wait([], None, None)
+
+        k.process("d", driver)
+        k.run()
+        assert s.value == 9
+        assert s.last_value == 5
+
+
+class TestDeltaCycles:
+    def test_zero_delay_chain(self):
+        """a -> b -> c through two delta cycles at the same time."""
+        k = Kernel()
+        a = k.signal("a", 0)
+        b = k.signal("b", 0)
+        c = k.signal("c", 0)
+        rt = k.rt
+
+        def pa():
+            rt.assign(a, ((1, 0),))
+            yield rt.wait([], None, None)
+
+        def pb():
+            while True:
+                yield rt.wait([a])
+                rt.assign(b, ((rt.read(a), 0),))
+
+        def pc():
+            while True:
+                yield rt.wait([b])
+                rt.assign(c, ((rt.read(b), 0),))
+
+        k.process("pa", pa)
+        k.process("pb", pb)
+        k.process("pc", pc)
+        end = k.run()
+        assert (a.value, b.value, c.value) == (1, 1, 1)
+        assert end == 0  # all in delta cycles at time zero
+
+    def test_unbounded_delta_loop_detected(self):
+        k = Kernel(max_deltas=50)
+        s = k.signal("s", 0)
+        rt = k.rt
+
+        def osc():
+            while True:
+                rt.assign(s, ((1 - rt.read(s), 0),))
+                yield rt.wait([s])
+
+        k.process("osc", osc)
+        with pytest.raises(SimulationError) as info:
+            k.run()
+        assert "delta" in str(info.value)
+
+    def test_delta_does_not_advance_time(self):
+        k = Kernel()
+        a = k.signal("a", 0)
+        b = k.signal("b", 0)
+        rt = k.rt
+
+        def pa():
+            rt.assign(a, ((1, 0),))
+            yield rt.wait([], None, None)
+
+        def pb():
+            yield rt.wait([a])
+            rt.assign(b, ((1, 0),))
+            assert k.now == 0
+            yield rt.wait([], None, None)
+
+        k.process("pa", pa)
+        k.process("pb", pb)
+        assert k.run() == 0
+
+
+class TestWaits:
+    def test_wait_for_timeout(self):
+        k = Kernel()
+        rt = k.rt
+        times = []
+
+        def proc():
+            for _ in range(3):
+                yield rt.wait(None, None, 7 * NS)
+                times.append(k.now)
+
+        k.process("p", proc)
+        k.run()
+        assert times == [7 * NS, 14 * NS, 21 * NS]
+
+    def test_wait_until_condition(self):
+        k = Kernel()
+        s = k.signal("s", 0)
+        rt = k.rt
+        woke = []
+
+        def driver():
+            for v in (1, 2, 3):
+                rt.assign(s, ((v, v * NS),))
+                yield rt.wait(None, None, v * NS)
+
+        def waiter():
+            yield rt.wait([s], lambda: rt.read(s) >= 2, None)
+            woke.append(k.now)
+
+        k.process("driver", driver)
+        k.process("waiter", waiter)
+        k.run()
+        # s=1 at 1ns (condition false), s=2 at 3ns -> wakes at 3ns.
+        assert woke == [3 * NS]
+
+    def test_wait_forever_never_resumes(self):
+        k = Kernel()
+        resumed = []
+        rt = k.rt
+
+        def p():
+            yield rt.wait([], None, None)
+            resumed.append(True)
+
+        k.process("p", p)
+        k.run(until=100 * NS)
+        assert resumed == []
+
+    def test_process_completion(self):
+        k = Kernel()
+        rt = k.rt
+        log = []
+
+        def once():
+            log.append("ran")
+            if False:
+                yield  # make it a generator
+
+        k.process("once", once)
+        k.run()
+        assert log == ["ran"]
+        assert k.processes[0].done
+
+
+class TestPreemption:
+    def test_inertial_assignment_preempts_projection(self):
+        """A later inertial assignment deletes projected transactions
+        — 'the effect of a VHDL signal assignment is not determinable
+        at the time of the execution of the assignment'."""
+        k = Kernel()
+        s = k.signal("s", 0)
+        rt = k.rt
+
+        def p():
+            rt.assign(s, ((1, 10 * NS),))
+            rt.assign(s, ((2, 5 * NS),))  # deletes the 10ns transaction
+            yield rt.wait([], None, None)
+
+        k.process("p", p)
+        k.run()
+        assert s.value == 2
+        assert k.now == 5 * NS
+
+    def test_transport_appends(self):
+        k = Kernel()
+        s = k.signal("s", 0)
+        rt = k.rt
+        values = []
+
+        def p():
+            rt.assign(s, ((1, 5 * NS),), transport=True)
+            rt.assign(s, ((2, 10 * NS),), transport=True)
+            yield rt.wait([], None, None)
+
+        def w():
+            while True:
+                yield rt.wait([s])
+                values.append((k.now, rt.read(s)))
+
+        k.process("p", p)
+        k.process("w", w)
+        k.run()
+        assert values == [(5 * NS, 1), (10 * NS, 2)]
+
+    def test_transport_deletes_at_or_after(self):
+        k = Kernel()
+        s = k.signal("s", 0)
+        rt = k.rt
+
+        def p():
+            rt.assign(s, ((1, 10 * NS),), transport=True)
+            rt.assign(s, ((2, 5 * NS),), transport=True)
+            yield rt.wait([], None, None)
+
+        k.process("p", p)
+        k.run()
+        # The 10ns transaction is at-or-after 5ns: deleted.
+        assert s.value == 2
+
+
+class TestResolution:
+    def test_two_drivers_require_resolution(self):
+        from repro.sim.runtime import RuntimeError_
+
+        k = Kernel()
+        s = k.signal("s", 0)
+        rt = k.rt
+
+        def d1():
+            rt.assign(s, ((1, NS),))
+            yield rt.wait([], None, None)
+
+        def d2():
+            rt.assign(s, ((0, NS),))
+            yield rt.wait([], None, None)
+
+        k.process("d1", d1)
+        k.process("d2", d2)
+        with pytest.raises(RuntimeError_):
+            k.run()
+
+    def test_wired_or_resolution(self):
+        k = Kernel()
+        s = k.signal("s", 0, resolution=lambda vs: max(vs))
+        rt = k.rt
+
+        def d1():
+            rt.assign(s, ((1, NS),))
+            yield rt.wait([], None, None)
+
+        def d2():
+            rt.assign(s, ((0, NS),))
+            yield rt.wait([], None, None)
+
+        k.process("d1", d1)
+        k.process("d2", d2)
+        k.run()
+        assert s.value == 1
+
+    def test_driver_per_process(self):
+        k = Kernel()
+        s = k.signal("s", 0, resolution=lambda vs: sum(vs))
+        rt = k.rt
+
+        def drive(v):
+            def p():
+                rt.assign(s, ((v, NS),))
+                rt.assign(s, ((v, 2 * NS),))  # same driver, reassigned
+                yield rt.wait([], None, None)
+
+            return p
+
+        k.process("a", drive(3))
+        k.process("b", drive(4))
+        k.run()
+        assert len(s.drivers) == 2
+        assert s.value == 7
+
+
+class TestAssertions:
+    def test_failure_severity_stops(self):
+        from repro.sim.vhdlio import AssertionFailure
+
+        k = Kernel()
+        rt = k.rt
+
+        def p():
+            rt.assert_(False, "boom", "failure")
+            yield rt.wait([], None, None)
+
+        k.process("p", p)
+        with pytest.raises(AssertionFailure):
+            k.run()
+
+    def test_error_severity_logs(self):
+        k = Kernel()
+        rt = k.rt
+
+        def p():
+            rt.assert_(False, "not fatal", "error")
+            yield rt.wait([], None, None)
+
+        k.process("p", p)
+        k.run()
+        assert k.logger.errors() == 1
+        assert k.logger.records[0][3] == "not fatal"

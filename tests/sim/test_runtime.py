@@ -1,0 +1,242 @@
+"""Tests for runtime support: predefined operations and values."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.runtime import RuntimeError_, VArray, VRecord, ops
+
+
+class TestNumeric:
+    def test_div_truncates_toward_zero(self):
+        assert ops.div(7, 2) == 3
+        assert ops.div(-7, 2) == -3
+        assert ops.div(7, -2) == -3
+
+    def test_div_by_zero(self):
+        with pytest.raises(RuntimeError_):
+            ops.div(1, 0)
+
+    def test_mod_sign_of_divisor(self):
+        assert ops.mod(7, 3) == 1
+        assert ops.mod(-7, 3) == 2
+        assert ops.mod(7, -3) == -2
+
+    def test_rem_sign_of_dividend(self):
+        assert ops.rem(7, 3) == 1
+        assert ops.rem(-7, 3) == -1
+        assert ops.rem(7, -3) == 1
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_div_mod_rem_identities(self, a, b):
+        if b == 0:
+            return
+        # VHDL LRM identities.
+        assert a == ops.mul(ops.div(a, b), b) + ops.rem(a, b)
+        assert abs(ops.rem(a, b)) < abs(b)
+        assert abs(ops.mod(a, b)) < abs(b)
+
+    def test_pow_negative_integer_exponent_rejected(self):
+        with pytest.raises(RuntimeError_):
+            ops.pow_(2, -1)
+
+    def test_abs_neg(self):
+        assert ops.abs_(-5) == 5
+        assert ops.neg(5) == -5
+
+
+class TestLogical:
+    def test_scalar_bit_ops(self):
+        assert ops.and_(1, 1) == 1
+        assert ops.or_(0, 0) == 0
+        assert ops.xor(1, 0) == 1
+        assert ops.nand(1, 1) == 0
+        assert ops.nor(0, 0) == 1
+        assert ops.not_(0) == 1
+
+    def test_array_elementwise(self):
+        a = VArray.from_list([1, 0, 1, 0])
+        b = VArray.from_list([1, 1, 0, 0])
+        assert ops.and_(a, b).elems == [1, 0, 0, 0]
+        assert ops.or_(a, b).elems == [1, 1, 1, 0]
+        assert ops.not_(a).elems == [0, 1, 0, 1]
+
+    def test_length_mismatch_rejected(self):
+        a = VArray.from_list([1, 0])
+        b = VArray.from_list([1])
+        with pytest.raises(RuntimeError_):
+            ops.and_(a, b)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=16))
+    def test_demorgan(self, bits):
+        a = VArray.from_list(bits)
+        b = VArray.from_list(list(reversed(bits)))
+        lhs = ops.not_(ops.and_(a, b))
+        rhs = ops.or_(ops.not_(a), ops.not_(b))
+        assert lhs.elems == rhs.elems
+
+
+class TestArrays:
+    def test_index_downto(self):
+        a = VArray(7, "downto", 4, [10, 11, 12, 13])
+        assert ops.index(a, 7) == 10
+        assert ops.index(a, 4) == 13
+
+    def test_index_out_of_range(self):
+        a = VArray(0, "to", 2, [1, 2, 3])
+        with pytest.raises(RuntimeError_):
+            ops.index(a, 3)
+
+    def test_slice(self):
+        a = VArray(7, "downto", 0, list(range(8)))
+        s = ops.slice_(a, 5, "downto", 2)
+        assert (s.left, s.right) == (5, 2)
+        assert s.elems == [2, 3, 4, 5]
+
+    def test_null_slice(self):
+        a = VArray(0, "to", 3, [1, 2, 3, 4])
+        s = ops.slice_(a, 2, "to", 1)
+        assert len(s) == 0
+
+    def test_slice_direction_mismatch(self):
+        a = VArray(0, "to", 3, [1, 2, 3, 4])
+        with pytest.raises(RuntimeError_):
+            ops.slice_(a, 3, "downto", 0)
+
+    def test_concat_keeps_left_bounds(self):
+        a = VArray(7, "downto", 6, [1, 0])
+        b = VArray(1, "downto", 0, [1, 1])
+        c = ops.concat(a, b)
+        assert c.elems == [1, 0, 1, 1]
+        assert c.left == 7 and c.direction == "downto"
+
+    def test_concat_scalar(self):
+        a = VArray.from_list([1, 0])
+        c = ops.concat(a, 1)
+        assert c.elems == [1, 0, 1]
+        c2 = ops.concat(0, a)
+        assert c2.elems == [0, 1, 0]
+
+    def test_array_update_is_persistent(self):
+        a = VArray(0, "to", 2, [1, 2, 3])
+        b = ops.array_update(a, 1, 9)
+        assert a.elems == [1, 2, 3]
+        assert b.elems == [1, 9, 3]
+
+    def test_slice_update(self):
+        a = VArray(7, "downto", 0, [0] * 8)
+        v = VArray(3, "downto", 0, [1, 1, 1, 1])
+        b = ops.slice_update(a, 5, "downto", 2, v)
+        assert b.elems == [0, 0, 1, 1, 1, 1, 0, 0]
+
+    def test_fill(self):
+        a = ops.fill(3, "downto", 0, 7)
+        assert a.elems == [7, 7, 7, 7]
+
+    def test_aggregate_with_others(self):
+        a = ops.array_from([1, 2], 0, "to", 4, others=0)
+        assert a.elems == [1, 2, 0, 0, 0]
+
+    def test_aggregate_length_mismatch(self):
+        with pytest.raises(RuntimeError_):
+            ops.array_from([1, 2, 3], 0, "to", 1)
+
+    def test_range_attrs(self):
+        a = VArray(7, "downto", 0, [0] * 8)
+        assert ops.range_of(a) == (7, "downto", 0)
+        assert ops.reverse_range_of(a) == (0, "to", 7)
+        assert ops.length(a) == 8
+
+    def test_lexicographic_comparison(self):
+        a = VArray.from_list([1, 0])
+        b = VArray.from_list([1, 1])
+        assert ops.lt(a, b) == 1
+        assert ops.eq(a, VArray.from_list([1, 0])) == 1
+
+    def test_equality_ignores_bounds(self):
+        # VHDL equality is element-wise, not bounds-wise.
+        a = VArray(0, "to", 1, [1, 0])
+        b = VArray(7, "downto", 6, [1, 0])
+        assert ops.eq(a, b) == 1
+
+
+class TestRecords:
+    def test_field_access_and_update(self):
+        r = VRecord([("a", 1), ("b", 2)])
+        assert ops.field(r, "a") == 1
+        r2 = ops.record_update(r, "a", 9)
+        assert ops.field(r, "a") == 1
+        assert ops.field(r2, "a") == 9
+
+    def test_missing_field(self):
+        r = VRecord([("a", 1)])
+        with pytest.raises(RuntimeError_):
+            ops.field(r, "z")
+
+    def test_record_equality(self):
+        assert ops.eq(VRecord([("a", 1)]), VRecord([("a", 1)]))
+
+
+class TestChecksAndRanges:
+    def test_check_range(self):
+        assert ops.check_range(5, 0, 10) == 5
+        with pytest.raises(RuntimeError_):
+            ops.check_range(11, 0, 10, "count")
+
+    def test_iter_range(self):
+        assert list(ops.iter_range(0, "to", 3)) == [0, 1, 2, 3]
+        assert list(ops.iter_range(3, "downto", 0)) == [3, 2, 1, 0]
+        assert list(ops.iter_range(2, "to", 1)) == []
+
+    def test_succ_pred(self):
+        assert ops.succ(1, 3) == 2
+        assert ops.pred(1, 0) == 0
+        with pytest.raises(RuntimeError_):
+            ops.succ(3, 3)
+        with pytest.raises(RuntimeError_):
+            ops.pred(0, 0)
+
+    def test_conversions(self):
+        assert ops.to_integer(3.6) == 4
+        assert ops.to_float(3) == 3.0
+
+
+class TestNameServer:
+    def test_register_and_find(self):
+        from repro.sim import NameServer
+
+        ns = NameServer()
+        ns.register(":top", "instance", "e")
+        ns.register(":top:u1", "instance", "f")
+        ns.register(":top:u1:clk", "signal", "sig")
+        assert ns.lookup(":top:u1:clk") == "sig"
+        assert ns.by_suffix("clk") == [":top:u1:clk"]
+        assert ns.find(":top:*") == [":top:u1", ":top:u1:clk"]
+        assert ns.children(":top") == [":top:u1"]
+        assert "u1 [instance]" in ns.tree()
+
+    def test_duplicate_rejected(self):
+        from repro.sim import NameServer
+
+        ns = NameServer()
+        ns.register(":a", "signal", 1)
+        with pytest.raises(KeyError):
+            ns.register(":a", "signal", 2)
+
+
+class TestVhdlIO:
+    def test_format_time(self):
+        from repro.sim.vhdlio import format_time
+
+        assert format_time(5_000_000) == "5 ns"
+        assert format_time(1_500_000) == "1500 ps"
+        assert format_time(10**15) == "1 sec"
+
+    def test_text_buffer(self):
+        from repro.sim.vhdlio import TextBuffer
+
+        buf = TextBuffer()
+        buf.write("count=")
+        buf.write(5)
+        buf.writeline()
+        assert buf.text() == "count=5"

@@ -1,0 +1,111 @@
+"""Property-based tests of driver/waveform semantics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.signals import Driver, Signal
+
+
+waveform_elems = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 100)),
+    min_size=1, max_size=5,
+).map(lambda elems: sorted(elems, key=lambda e: e[1]))
+
+assignments = st.lists(
+    st.tuples(waveform_elems, st.booleans(), st.integers(0, 50)),
+    min_size=1, max_size=6,
+)
+
+
+class TestDriverProperties:
+    @given(assignments)
+    def test_waveform_always_time_sorted(self, batches):
+        """Whatever sequence of inertial/transport assignments is
+        applied, the projected waveform stays sorted by time."""
+        sig = Signal("s", 0)
+        driver = Driver(None, sig, 0)
+        now = 0
+        for elems, transport, dt in batches:
+            now += dt
+            driver.advance(now)
+            driver.schedule(now, elems, transport)
+            times = [t.time for t in driver.waveform]
+            assert times == sorted(times)
+            assert all(t >= now for t in times)
+
+    @given(waveform_elems, waveform_elems)
+    def test_inertial_preemption_clears_projection(self, first, second):
+        """An inertial assignment deletes the whole old projection."""
+        sig = Signal("s", 0)
+        driver = Driver(None, sig, 0)
+        driver.schedule(0, first, transport=False)
+        driver.schedule(0, second, transport=False)
+        assert len(driver.waveform) == len(second)
+        assert [t.value for t in driver.waveform] == [
+            v for v, _ in second]
+
+    @given(waveform_elems, waveform_elems)
+    def test_transport_keeps_earlier_transactions(self, first, second):
+        """Transport deletes only at-or-after the first new time."""
+        sig = Signal("s", 0)
+        driver = Driver(None, sig, 0)
+        driver.schedule(0, first, transport=True)
+        cutoff = second[0][1]
+        kept = [t for t in driver.waveform if t.time < cutoff]
+        driver.schedule(0, second, transport=True)
+        assert driver.waveform[: len(kept)] == kept
+
+    @given(waveform_elems)
+    def test_advance_applies_due_transactions_in_order(self, elems):
+        sig = Signal("s", 0)
+        driver = Driver(None, sig, 0)
+        driver.schedule(0, elems, transport=True)
+        horizon = max(t for _, t in elems)
+        driver.advance(horizon)
+        # The driver value is the chronologically last transaction.
+        last_time = max(t for _, t in elems)
+        final = [v for v, t in elems if t == last_time][-1]
+        assert driver.value == final
+        assert driver.waveform == []
+
+
+class TestSignalProperties:
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=8))
+    def test_event_iff_value_changed(self, values):
+        sig = Signal("s", 0)
+
+        class P:
+            pass
+
+        driver = sig.driver_for(P())
+        now = 0
+        current = 0
+        for step, v in enumerate(values, start=1):
+            now += 10
+            driver.schedule(now - 10, ((v, 10),), False)
+            changed = sig.update(now, step)
+            assert changed == (v != current)
+            assert sig.is_active(step)
+            if changed:
+                assert sig.last_event_time == now
+                current = v
+
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=6,
+                    unique=True))
+    def test_resolution_sees_all_driver_values(self, values):
+        seen = []
+
+        def res(vs):
+            seen.append(sorted(vs))
+            return max(vs)
+
+        sig = Signal("s", 0, resolution=res)
+        for i, v in enumerate(values):
+            class P:
+                pass
+
+            d = sig.driver_for(P())
+            d.schedule(0, ((v, 5),), False)
+        sig.update(5, 1)
+        assert seen[-1] == sorted(values)
+        assert sig.value == max(values)

@@ -1,0 +1,109 @@
+"""Tests for waveform tracing and VCD export."""
+
+from repro.sim import Kernel, VArray
+from repro.sim.tracing import Tracer, format_fs
+
+NS = 10**6
+
+
+def staircase_kernel():
+    k = Kernel()
+    s = k.signal("s", 0)
+    rt = k.rt
+
+    def proc():
+        for v in (1, 2, 3):
+            rt.assign(s, ((v, 10 * NS),))
+            yield rt.wait(None, None, 10 * NS)
+
+    k.process("p", proc)
+    return k, s
+
+
+class TestTracer:
+    def test_records_changes(self):
+        k, s = staircase_kernel()
+        tracer = Tracer(k, [s])
+        k.run()
+        assert tracer.changes(s) == [
+            (0, 0), (10 * NS, 1), (20 * NS, 2), (30 * NS, 3)]
+
+    def test_value_at(self):
+        k, s = staircase_kernel()
+        tracer = Tracer(k, [s])
+        k.run()
+        assert tracer.value_at(s, 0) == 0
+        assert tracer.value_at(s, 15 * NS) == 1
+        assert tracer.value_at(s, 30 * NS) == 3
+
+    def test_no_change_no_record(self):
+        k = Kernel()
+        s = k.signal("s", 5)
+        rt = k.rt
+
+        def proc():
+            rt.assign(s, ((5, NS),))  # same value: active, no event
+            yield rt.wait([], None, None)
+
+        k.process("p", proc)
+        tracer = Tracer(k, [s])
+        k.run()
+        assert tracer.changes(s) == [(0, 5)]
+
+    def test_ascii_wave(self):
+        k, s = staircase_kernel()
+        tracer = Tracer(k, [s])
+        k.run()
+        text = tracer.ascii_wave(30 * NS, 10 * NS, image=str)
+        assert "time(fs)" in text
+        rows = text.splitlines()
+        assert rows[1].startswith("s")
+        assert rows[1].split()[-4:] == ["0", "1", "2", "3"]
+
+    def test_default_traces_all_signals(self):
+        k, s = staircase_kernel()
+        k.signal("other", 9)
+        tracer = Tracer(k)
+        assert len(tracer.signals) == 2
+
+
+class TestVCD:
+    def test_vcd_structure(self):
+        k, s = staircase_kernel()
+        tracer = Tracer(k, [s])
+        k.run()
+        vcd = tracer.vcd()
+        assert "$timescale 1 fs $end" in vcd
+        assert "$var wire 32 ! s $end" in vcd
+        assert "#10000000" in vcd
+        assert vcd.count("b1 !") == 1  # value 1 once
+
+    def test_vcd_array_signal(self):
+        k = Kernel()
+        v = VArray(3, "downto", 0, [0, 0, 0, 0])
+        s = k.signal("bus", v)
+        rt = k.rt
+
+        def proc():
+            rt.assign(s, ((VArray(3, "downto", 0, [1, 0, 1, 0]), NS),))
+            yield rt.wait([], None, None)
+
+        k.process("p", proc)
+        tracer = Tracer(k, [s])
+        k.run()
+        vcd = tracer.vcd()
+        assert "$var wire 4" in vcd
+        assert "b1010" in vcd
+
+    def test_code_generation_unique(self):
+        from repro.sim.tracing import _vcd_code
+
+        codes = {_vcd_code(i) for i in range(500)}
+        assert len(codes) == 500
+
+
+class TestFormatting:
+    def test_format_fs(self):
+        assert format_fs(5 * NS) == "5 ns"
+        assert format_fs(0) == "0 fs"
+        assert format_fs(123) == "123 fs"

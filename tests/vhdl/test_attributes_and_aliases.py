@@ -1,0 +1,202 @@
+"""User-defined attributes (§3.2's visibility-by-selection showcase),
+aliases, and physical-type arithmetic."""
+
+from .helpers import NS, compile_messages, compile_ok, simulate
+
+
+class TestUserDefinedAttributes:
+    def test_attribute_on_signal(self):
+        sim = simulate("""
+            entity top is end top;
+            architecture a of top is
+              attribute max_load : integer;
+              signal s : bit := '0';
+              attribute max_load of s : signal is 42;
+              signal r : integer := 0;
+            begin
+              process
+              begin
+                r <= s'max_load;
+                wait;
+              end process;
+            end a;
+        """, "top")
+        assert sim.value("r") == 42
+
+    def test_user_attribute_shadows_predefined(self):
+        """The paper's exact example: X'REVERSE_RANGE 'could be an
+        element of the array X in case T has the user-defined
+        attribute REVERSE_RANGE' — which reading applies depends on
+        the symbol table."""
+        sim = simulate("""
+            entity top is end top;
+            architecture a of top is
+              attribute reverse_range : integer;
+              signal v : bit_vector(3 downto 0) := "0000";
+              attribute reverse_range of v : signal is 7;
+              signal r : integer := 0;
+            begin
+              process
+              begin
+                r <= v'reverse_range;
+                wait;
+              end process;
+            end a;
+        """, "top")
+        assert sim.value("r") == 7
+
+    def test_predefined_reading_without_specification(self):
+        """Same source text, no attribute specification: the
+        predefined attribute applies (as a range)."""
+        sim = simulate("""
+            entity top is end top;
+            architecture a of top is
+              signal v : bit_vector(3 downto 0) := "1010";
+              signal n : integer := 0;
+            begin
+              process
+                variable c : integer := 0;
+              begin
+                for i in v'reverse_range loop
+                  c := c + 1;
+                end loop;
+                n <= c;
+                wait;
+              end process;
+            end a;
+        """, "top")
+        assert sim.value("n") == 4
+
+    def test_attribute_value_must_be_static(self):
+        _c, msgs = compile_messages("""
+            entity top is end top;
+            architecture a of top is
+              attribute info : integer;
+              signal s : bit := '0';
+              signal dyn : integer := 1;
+              attribute info of s : signal is dyn + 1;
+            begin
+            end a;
+        """)
+        assert any("static" in m for m in msgs)
+
+    def test_unknown_attribute_name(self):
+        _c, msgs = compile_messages("""
+            entity top is end top;
+            architecture a of top is
+              signal s : bit := '0';
+              attribute ghost of s : signal is 1;
+            begin
+            end a;
+        """)
+        assert any("not an attribute" in m for m in msgs)
+
+
+class TestAliases:
+    def test_alias_of_signal(self):
+        sim = simulate("""
+            entity top is end top;
+            architecture a of top is
+              signal long_descriptive_name : integer := 5;
+              alias short : integer is long_descriptive_name;
+              signal r : integer := 0;
+            begin
+              process
+              begin
+                r <= short + 1;
+                wait;
+              end process;
+            end a;
+        """, "top")
+        assert sim.value("r") == 6
+
+    def test_alias_assignable(self):
+        sim = simulate("""
+            entity top is end top;
+            architecture a of top is
+              signal original : integer := 0;
+              alias nickname : integer is original;
+            begin
+              process
+              begin
+                nickname <= 9;
+                wait;
+              end process;
+            end a;
+        """, "top")
+        assert sim.value("original") == 9
+
+    def test_alias_target_must_be_whole_object(self):
+        _c, msgs = compile_messages("""
+            entity top is end top;
+            architecture a of top is
+              signal v : bit_vector(3 downto 0) := "0000";
+              alias lsb : bit is v(0);
+            begin
+            end a;
+        """)
+        assert any("whole object" in m for m in msgs)
+
+
+class TestPhysicalTypes:
+    def test_time_arithmetic(self):
+        sim = simulate("""
+            entity top is end top;
+            architecture a of top is
+              constant period : time := 10 ns;
+              signal stamp : time := 0 fs;
+            begin
+              process
+              begin
+                wait for period + 5 ns;
+                stamp <= now;
+                wait;
+              end process;
+            end a;
+        """, "top")
+        assert sim.value("stamp") == 15 * NS
+
+    def test_time_scaling_by_integer(self):
+        sim = simulate("""
+            entity top is end top;
+            architecture a of top is
+              signal stamp : time := 0 fs;
+            begin
+              process
+              begin
+                wait for 3 * 5 ns;
+                stamp <= now;
+                wait;
+              end process;
+            end a;
+        """, "top")
+        assert sim.value("stamp") == 15 * NS
+
+    def test_unit_conversions_consistent(self):
+        c, _ = compile_ok("""
+            package t is
+              constant a : time := 1 us;
+              constant b : time := 1000 ns;
+            end t;
+        """)
+        pkg = c.library.find_unit("work", "t")
+        vals = {d.name: d.value for d in pkg.decls
+                if getattr(d, "obj_class", "") == "constant"}
+        assert vals["a"] == vals["b"]
+
+
+class TestCaseInsensitivity:
+    def test_mixed_case_references(self):
+        sim = simulate("""
+            ENTITY Top IS END Top;
+            ARCHITECTURE A OF Top IS
+              SIGNAL Counter : INTEGER := 0;
+            BEGIN
+              PROCESS
+              BEGIN
+                CoUnTeR <= COUNTER + 1;
+                WAIT;
+              END PROCESS;
+            END A;
+        """, "top")
+        assert sim.value("counter") == 1

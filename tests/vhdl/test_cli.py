@@ -1,0 +1,127 @@
+"""Tests for the script-driven interface (python -m repro)."""
+
+import os
+
+import pytest
+
+from repro.cli import _parse_time, main
+
+
+@pytest.fixture()
+def collect():
+    lines = []
+
+    def out(text=""):
+        lines.append(str(text))
+
+    out.lines = lines
+    return out
+
+
+BLINK = """
+entity blink is end blink;
+architecture rtl of blink is
+  signal led : bit := '0';
+  signal n : integer := 0;
+begin
+  process
+  begin
+    led <= not led;
+    n <= n + 1;
+    wait for 10 ns;
+  end process;
+end rtl;
+"""
+
+
+@pytest.fixture()
+def project(tmp_path):
+    src = tmp_path / "blink.vhd"
+    src.write_text(BLINK)
+    root = tmp_path / "libs"
+    return str(src), str(root)
+
+
+class TestParseTime:
+    def test_units(self):
+        assert _parse_time("10ns") == 10 * 10**6
+        assert _parse_time("1 us") == 10**9
+        assert _parse_time("2ms") == 2 * 10**12
+        assert _parse_time("5000") == 5000
+
+    def test_fractional(self):
+        assert _parse_time("1.5ns") == 1_500_000
+
+
+class TestCompileCommand:
+    def test_compile_ok(self, project, collect):
+        src, root = project
+        rc = main(["--root", root, "compile", src], out=collect)
+        assert rc == 0
+        assert any("ok" in line for line in collect.lines)
+        assert os.path.isdir(os.path.join(root, "work"))
+
+    def test_compile_errors_reported(self, tmp_path, collect):
+        bad = tmp_path / "bad.vhd"
+        bad.write_text("""
+            entity e is end e;
+            architecture a of e is
+              signal s : no_such_type;
+            begin
+            end a;
+        """)
+        rc = main(["compile", str(bad)], out=collect)
+        assert rc == 1
+        assert any("no_such_type" in line for line in collect.lines)
+
+    def test_keep_going(self, tmp_path, collect):
+        bad = tmp_path / "bad.vhd"
+        bad.write_text("entity e is end e;\narchitecture a of ghost is"
+                       "\nbegin\nend a;\n")
+        rc = main(["compile", "--keep-going", str(bad)], out=collect)
+        assert rc == 0
+
+
+class TestListAndDump:
+    def test_list(self, project, collect):
+        src, root = project
+        main(["--root", root, "compile", src], out=lambda *_: None)
+        rc = main(["--root", root, "list"], out=collect)
+        assert rc == 0
+        assert "work.blink" in collect.lines
+        assert "work.rtl(blink)" in collect.lines
+
+    def test_dump(self, project, collect):
+        src, root = project
+        main(["--root", root, "compile", src], out=lambda *_: None)
+        rc = main(["--root", root, "dump", "work", "rtl(blink)"],
+                  out=collect)
+        assert rc == 0
+        assert any("ArchUnit" in line for line in collect.lines)
+
+
+class TestSimulateCommand:
+    def test_simulate_with_trace_and_vcd(self, project, tmp_path,
+                                         collect):
+        src, root = project
+        main(["--root", root, "compile", src], out=lambda *_: None)
+        vcd = str(tmp_path / "wave.vcd")
+        rc = main([
+            "--root", root, "simulate", "blink", "--until", "95ns",
+            "--trace", "led", "--vcd", vcd,
+        ], out=collect)
+        assert rc == 0
+        assert any("95 ns" in line for line in collect.lines)
+        assert any(":blink:n" in line and "10" in line
+                   for line in collect.lines)
+        with open(vcd) as f:
+            assert "$enddefinitions" in f.read()
+
+
+class TestStats:
+    def test_stats_table(self, collect):
+        rc = main(["stats"], out=collect)
+        assert rc == 0
+        text = "\n".join(collect.lines)
+        assert "vhdl_principal" in text
+        assert "max visits" in text

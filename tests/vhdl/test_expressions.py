@@ -1,0 +1,249 @@
+"""Direct tests of the expression AG through exprEval — the §4.1
+cascade boundary, with symbol-table-driven phrase structure."""
+
+import pytest
+
+from repro.vhdl.expr_grammar import ExprEvaluator
+from repro.vhdl.lef import classify_char, classify_id, lef
+from repro.vhdl.stdpkg import standard
+from repro.vif.nodes import (
+    ArraySubtype,
+    IndexRange,
+    ObjectEntry,
+    ParamEntry,
+    RecordType,
+    SubprogramEntry,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    std = standard()
+    byte = ArraySubtype(
+        name="byte", base_type=std.bit_vector,
+        index_range=IndexRange(left=7, direction="downto", right=0))
+    point = RecordType(name="point", field_names=["x", "y"],
+                       field_types=[std.integer, std.integer])
+    env = std.environment().enter_scope()
+    objs = {
+        "clk": ObjectEntry(name="clk", obj_class="signal",
+                           vtype=std.bit, py="s_clk"),
+        "data": ObjectEntry(name="data", obj_class="variable",
+                            vtype=byte, py="v_data"),
+        "count": ObjectEntry(name="count", obj_class="variable",
+                             vtype=std.integer, py="v_count"),
+        "p": ObjectEntry(name="p", obj_class="variable",
+                         vtype=point, py="v_p"),
+        "lim": ObjectEntry(name="lim", obj_class="constant",
+                           vtype=std.integer, py="c_lim",
+                           value=8, has_value=True),
+    }
+    fn = SubprogramEntry(
+        name="inc", sub_kind="function",
+        params=[ParamEntry(name="x", obj_class="constant", mode="in",
+                           vtype=std.integer)],
+        result=std.integer, py="f_inc")
+    for name, entry in objs.items():
+        env = env.bind(name, entry)
+    env = env.bind("inc", fn, overloadable=True)
+    env = env.bind("byte", byte).bind("point", point)
+    ev = ExprEvaluator(std)
+    return std, env, ev, byte
+
+
+def run(world, toks, mode="M_EXPR", expected=None):
+    std, env, ev, _ = world
+    return ev(toks, mode, env, line=1, expected=expected)
+
+
+def T(world, name):
+    _, env, _, _ = world
+    return classify_id(name, env)
+
+
+class TestPhraseStructures:
+    """The same shape, three phrase structures — §4.1's example."""
+
+    def test_call(self, world):
+        r = run(world, [T(world, "inc"), lef("LP", "("),
+                        T(world, "count"), lef("RP", ")")])
+        assert r["code"] == "f_inc(v_count)"
+        assert r["type"].name == "integer"
+
+    def test_index(self, world):
+        r = run(world, [T(world, "data"), lef("LP", "("),
+                        lef("INT", "3", 3), lef("RP", ")")])
+        assert r["code"] == "ops.index(v_data, 3)"
+        assert r["type"].name == "bit"
+
+    def test_conversion(self, world):
+        r = run(world, [T(world, "integer"), lef("LP", "("),
+                        T(world, "count"), lef("RP", ")")])
+        assert r["code"] == "v_count"
+
+    def test_slice(self, world):
+        r = run(world, [T(world, "data"), lef("LP", "("),
+                        lef("INT", "7", 7), lef("DOWNTO", "downto"),
+                        lef("INT", "4", 4), lef("RP", ")")])
+        assert "ops.slice_" in r["code"]
+        assert r["type"].index_range.length() == 4
+
+    def test_qualified_expression(self, world):
+        std, env, ev, _ = world
+        r = run(world, [T(world, "bit"), lef("TICK", "'"),
+                        lef("LP", "("), classify_char("'1'", env),
+                        lef("RP", ")")])
+        assert r["val"] == 1
+        assert r["type"].name == "bit"
+
+
+class TestOperatorsAndFolding:
+    def test_constant_folding(self, world):
+        r = run(world, [T(world, "lim"), lef("STAR", "*"),
+                        lef("INT", "2", 2), lef("PLUS", "+"),
+                        lef("INT", "1", 1)])
+        assert r["has_val"] and r["val"] == 17
+
+    def test_precedence(self, world):
+        r = run(world, [lef("INT", "2", 2), lef("PLUS", "+"),
+                        lef("INT", "3", 3), lef("STAR", "*"),
+                        lef("INT", "4", 4)])
+        assert r["val"] == 14
+
+    def test_unary_minus_binds_low(self, world):
+        # VHDL: -2 ** 2 is -(2**2)? No: ** binds tighter than sign.
+        r = run(world, [lef("MINUS", "-"), lef("INT", "2", 2),
+                        lef("POW", "**"), lef("INT", "2", 2)])
+        assert r["val"] == -4
+
+    def test_nonassociative_pow_rejected(self, world):
+        r = run(world, [lef("INT", "2", 2), lef("POW", "**"),
+                        lef("INT", "2", 2), lef("POW", "**"),
+                        lef("INT", "2", 2)])
+        assert r["msgs"]
+
+    def test_signal_reads_collected(self, world):
+        std, env, ev, _ = world
+        r = run(world, [T(world, "clk"), lef("EQ", "="),
+                        classify_char("'1'", env)])
+        assert r["sigs"] == ["s_clk"]
+
+    def test_type_error_reported(self, world):
+        r = run(world, [T(world, "count"), lef("PLUS", "+"),
+                        T(world, "clk")])
+        assert any("'+'" in m for m in r["msgs"])
+
+    def test_comparison_yields_boolean(self, world):
+        r = run(world, [T(world, "count"), lef("LE", "<="),
+                        T(world, "lim")])
+        assert r["type"].name == "boolean"
+
+
+class TestRecordsAndAttributes:
+    def test_field_selection(self, world):
+        r = run(world, [T(world, "p"), lef("DOT", "."),
+                        lef("RAWID", "x", "x")])
+        assert r["code"] == "ops.field(v_p, 'x')"
+
+    def test_missing_field(self, world):
+        r = run(world, [T(world, "p"), lef("DOT", "."),
+                        lef("RAWID", "z", "z")])
+        assert any("no field" in m for m in r["msgs"])
+
+    def test_signal_event_attr(self, world):
+        r = run(world, [T(world, "clk"), lef("TICK", "'"),
+                        lef("RAWID", "event", "event")])
+        assert r["code"] == "rt.event(s_clk)"
+        assert r["type"].name == "boolean"
+
+    def test_array_length(self, world):
+        r = run(world, [T(world, "data"), lef("TICK", "'"),
+                        lef("RAWID", "length", "length")])
+        assert r["val"] == 8
+
+    def test_type_attr_pos(self, world):
+        r = run(world, [T(world, "integer"), lef("TICK", "'"),
+                        lef("RAWID", "succ", "succ"), lef("LP", "("),
+                        lef("INT", "4", 4), lef("RP", ")")])
+        assert r["val"] == 5
+
+    def test_reverse_range(self, world):
+        r = run(world, [T(world, "data"), lef("TICK", "'"),
+                        lef("RAWID", "reverse_range", "reverse_range")],
+                mode="M_RANGE")
+        assert (r["left_val"], r["direction"], r["right_val"]) == \
+            (0, "to", 7)
+
+
+class TestAggregates:
+    def test_positional(self, world):
+        _, _, _, byte = world
+        toks = [lef("LP", "(")]
+        for i in range(8):
+            if i:
+                toks.append(lef("COMMA", ","))
+            toks.append(lef("INT", str(i % 2), i % 2))
+        toks.append(lef("RP", ")"))
+        r = run(world, toks, expected=byte)
+        assert r["has_val"]
+        assert r["val"].elems == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_others(self, world):
+        std, env, ev, byte = world
+        r = run(world, [lef("LP", "("), lef("OTHERS", "others"),
+                        lef("ARROW", "=>"), classify_char("'1'", env),
+                        lef("RP", ")")], expected=byte)
+        assert r["val"].elems == [1] * 8
+
+    def test_record_aggregate(self, world):
+        std, env, ev, _ = world
+        point = env.lookup("point").entries[0]
+        r = run(world, [
+            lef("LP", "("), lef("RAWID", "x", "x"),
+            lef("ARROW", "=>"), lef("INT", "1", 1),
+            lef("COMMA", ","), lef("RAWID", "y", "y"),
+            lef("ARROW", "=>"), lef("INT", "2", 2), lef("RP", ")"),
+        ], expected=point)
+        assert "ops.record_from" in r["code"]
+
+    def test_record_aggregate_missing_field(self, world):
+        std, env, ev, _ = world
+        point = env.lookup("point").entries[0]
+        r = run(world, [
+            lef("LP", "("), lef("RAWID", "x", "x"),
+            lef("ARROW", "=>"), lef("INT", "1", 1), lef("RP", ")"),
+        ], expected=point)
+        assert any("misses" in m for m in r["msgs"])
+
+    def test_aggregate_without_context_rejected(self, world):
+        r = run(world, [lef("LP", "("), lef("INT", "1", 1),
+                        lef("COMMA", ","), lef("INT", "2", 2),
+                        lef("RP", ")")])
+        assert any("expected type" in m for m in r["msgs"])
+
+
+class TestTargetsAndErrors:
+    def test_target_requires_name(self, world):
+        r = run(world, [lef("INT", "1", 1)], mode="M_TARGET")
+        assert not r["ok"]
+
+    def test_unknown_identifier_message(self, world):
+        r = run(world, [lef("RAWID", "ghost",
+                            __import__("repro.vhdl.lef",
+                                       fromlist=["LefError"])
+                            .LefError("'ghost' is not visible"))])
+        assert any("not visible" in m for m in r["msgs"])
+
+    def test_syntax_error_becomes_message(self, world):
+        r = run(world, [lef("PLUS", "+")])
+        assert any("syntax" in m for m in r["msgs"])
+
+    def test_ambiguous_enum_without_context(self, world):
+        std, env, ev, _ = world
+        r = run(world, [classify_char("'1'", env)])
+        assert any("ambiguous" in m for m in r["msgs"])
+
+    def test_enum_with_context_resolves(self, world):
+        std, env, ev, _ = world
+        r = run(world, [classify_char("'1'", env)], expected=std.bit)
+        assert r["val"] == 1

@@ -1,0 +1,90 @@
+"""Tests for LEF classification — the cascaded-evaluation boundary."""
+
+from repro.applicative import Env
+from repro.vhdl.lef import LefError, classify_char, classify_id
+from repro.vhdl.stdpkg import standard
+from repro.vif.nodes import ObjectEntry, SubprogramEntry
+
+
+def std_env():
+    return standard().environment()
+
+
+class TestClassification:
+    def test_type_mark(self):
+        tok = classify_id("integer", std_env())
+        assert tok.kind == "TYPEMARK"
+        assert tok.value.name == "integer"
+
+    def test_object(self):
+        obj = ObjectEntry(name="x", obj_class="variable",
+                          vtype=standard().integer, py="v_x")
+        env = std_env().bind("x", obj)
+        tok = classify_id("x", env)
+        assert tok.kind == "OBJ"
+        assert tok.value is obj
+
+    def test_subprogram_set(self):
+        f1 = SubprogramEntry(name="f", sub_kind="function", params=[],
+                             result=standard().integer, py="f_1")
+        f2 = SubprogramEntry(name="f", sub_kind="function", params=[],
+                             result=standard().bit, py="f_2")
+        env = std_env().bind("f", f1, overloadable=True).bind(
+            "f", f2, overloadable=True)
+        tok = classify_id("f", env)
+        assert tok.kind == "NAMESET"
+        assert set(tok.value) == {f1, f2}
+
+    def test_enum_literal(self):
+        tok = classify_id("true", std_env())
+        assert tok.kind == "NAMESET"
+        assert tok.value[0].entry_kind == "enum_literal"
+
+    def test_physical_unit(self):
+        tok = classify_id("ns", std_env())
+        assert tok.kind == "UNIT"
+        assert tok.value.scale == 10**6
+
+    def test_unknown_becomes_rawid(self):
+        tok = classify_id("mystery", std_env())
+        assert tok.kind == "RAWID"
+        assert isinstance(tok.value, LefError)
+
+    def test_same_name_different_denotation_different_token(self):
+        """The §4.1 premise: classification depends on the ENV."""
+        obj = ObjectEntry(name="bit", obj_class="variable",
+                          vtype=standard().integer, py="v_bit")
+        inner = std_env().enter_scope().bind("bit", obj)
+        assert classify_id("bit", std_env()).kind == "TYPEMARK"
+        assert classify_id("bit", inner).kind == "OBJ"
+
+    def test_conflicting_imports_become_rawid(self):
+        env = (Env.EMPTY
+               .bind("t", "a", via_use=True)
+               .bind("t", "b", via_use=True))
+        tok = classify_id("t", env)
+        assert tok.kind == "RAWID"
+        assert "conflicting" in tok.value.message
+
+    def test_alias_dereferenced(self):
+        from repro.vif.nodes import AliasEntry
+
+        obj = ObjectEntry(name="x", obj_class="variable",
+                          vtype=standard().integer, py="v_x")
+        alias = AliasEntry(name="y", target=obj, vtype=obj.vtype)
+        env = std_env().bind("y", alias)
+        tok = classify_id("y", env)
+        assert tok.kind == "OBJ"
+        assert tok.value is obj
+
+
+class TestCharLiterals:
+    def test_bit_char(self):
+        tok = classify_char("'1'", std_env())
+        assert tok.kind == "NAMESET"
+        kinds = {e.etype.name for e in tok.value}
+        assert "bit" in kinds and "character" in kinds
+
+    def test_unknown_char_type(self):
+        tok = classify_char("'j'", Env.EMPTY)
+        assert tok.kind == "RAWID"

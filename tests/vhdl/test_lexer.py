@@ -1,0 +1,77 @@
+"""Tests for the VHDL scanner."""
+
+import pytest
+
+from repro.ag import LexError
+from repro.vhdl.lexer import scan
+
+
+def kinds(text):
+    return [t.kind for t in scan(text)]
+
+
+class TestTokens:
+    def test_identifiers_case_insensitive_value(self):
+        toks = scan("Foo fOO")
+        assert [t.value for t in toks] == ["foo", "foo"]
+        assert toks[0].text == "Foo"
+
+    def test_keywords(self):
+        assert kinds("entity END Process") == [
+            "kw_entity", "kw_end", "kw_process"]
+
+    def test_integer_literals(self):
+        toks = scan("42 1_000 2#1010# 16#FF# 1e3")
+        assert [t.value for t in toks] == [42, 1000, 10, 255, 1000]
+
+    def test_real_literals(self):
+        toks = scan("3.14 1.0e2")
+        assert toks[0].value == pytest.approx(3.14)
+        assert toks[1].value == pytest.approx(100.0)
+
+    def test_character_literal(self):
+        toks = scan("'0' 'z'")
+        assert [t.kind for t in toks] == ["CHAR", "CHAR"]
+        assert toks[0].value == "'0'"
+
+    def test_string_literal_with_escape(self):
+        toks = scan('"he said ""hi"""')
+        assert toks[0].value == 'he said "hi"'
+
+    def test_bit_string_literals(self):
+        toks = scan('B"1010" X"F" O"7"')
+        assert [t.value for t in toks] == ["1010", "1111", "111"]
+
+    def test_compound_delimiters(self):
+        assert kinds("=> ** := /= >= <= <>") == [
+            "ARROW", "POW", "COLONEQ", "NE", "GE", "LE", "BOX"]
+
+    def test_comments(self):
+        assert kinds("a -- comment with 'tick' and \"quote\"\nb") == [
+            "ID", "ID"]
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as info:
+            scan("ok\n  $")
+        assert info.value.line == 2
+
+
+class TestTickDisambiguation:
+    def test_attribute_tick(self):
+        assert kinds("clk'event") == ["ID", "TICK", "ID"]
+
+    def test_range_attribute(self):
+        assert kinds("a'range") == ["ID", "TICK", "kw_range"]
+
+    def test_qualified_expression(self):
+        """bit'('1') — the classic "'('" hazard."""
+        assert kinds("bit'('1')") == [
+            "ID", "TICK", "LP", "CHAR", "RP"]
+
+    def test_char_literal_after_paren_stays_char(self):
+        assert kinds("('(','a')") == [
+            "LP", "CHAR", "COMMA", "CHAR", "RP"]
+
+    def test_tick_after_rparen(self):
+        assert kinds("f(x)'left") == [
+            "ID", "LP", "ID", "RP", "TICK", "ID"]

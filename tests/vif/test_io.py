@@ -1,0 +1,157 @@
+"""Tests for VIF serialization: write, read, foreign references, dump."""
+
+import json
+
+import pytest
+
+from repro.vif.core import VIFError
+from repro.vif.io import VIFReader, VIFWriter, dump_unit
+from repro.vif.nodes import (
+    ArraySubtype,
+    ArrayType,
+    EnumType,
+    IndexRange,
+    IntegerType,
+    ObjectEntry,
+    PackageUnit,
+)
+
+
+def fresh_types():
+    bit = EnumType(name="bit", literals=["'0'", "'1'"])
+    integer = IntegerType(name="integer", low=-100, high=100)
+    return bit, integer
+
+
+class TestWriter:
+    def test_roundtrip_single_unit(self):
+        bit, integer = fresh_types()
+        payload = VIFWriter("work", "u").write({"bit": bit, "i": integer})
+        store = {("work", "u"): payload}
+        reader = VIFReader(lambda l, u: store.get((l, u)))
+        roots = reader.read_unit("work", "u")
+        assert roots["bit"].literals == ["'0'", "'1'"]
+        assert roots["i"].high == 100
+        assert roots["bit"].VIF_KIND == "EnumType"
+
+    def test_payload_is_json_serializable(self):
+        bit, _ = fresh_types()
+        payload = VIFWriter("work", "u").write({"bit": bit})
+        json.dumps(payload)
+
+    def test_nested_refs_discovered(self):
+        bit, integer = fresh_types()
+        rng = IndexRange(left=3, direction="downto", right=0)
+        arr = ArrayType(name="v", index_type=integer, element_type=bit,
+                        index_range=rng)
+        payload = VIFWriter("work", "u").write({"arr": arr})
+        kinds = [k for k, _ in payload["nodes"]]
+        assert set(kinds) == {"ArrayType", "IntegerType", "EnumType",
+                              "IndexRange"}
+
+    def test_ownership_assigned_after_write(self):
+        bit, _ = fresh_types()
+        assert bit._vif_home is None
+        VIFWriter("work", "u").write({"bit": bit})
+        assert bit._vif_home[0:2] == ("work", "u")
+
+    def test_rewrite_same_unit_reowns(self):
+        bit, _ = fresh_types()
+        VIFWriter("work", "u").write({"bit": bit})
+        payload2 = VIFWriter("work", "u").write({"bit": bit})
+        # Still inline, not foreign.
+        assert payload2["nodes"]
+        assert payload2["depends"] == []
+
+    def test_non_jsonable_data_rejected(self):
+        bad = EnumType(name="x", literals=[object()])
+        with pytest.raises(VIFError):
+            VIFWriter("work", "u").write({"x": bad})
+
+
+class TestForeignReferences:
+    def make_two_units(self):
+        bit, integer = fresh_types()
+        p1 = VIFWriter("std2", "base").write({"bit": bit, "i": integer})
+        obj = ObjectEntry(name="s", obj_class="signal", vtype=bit,
+                          py="s_s")
+        p2 = VIFWriter("work", "top").write({"obj": obj})
+        return bit, p1, p2
+
+    def test_foreign_ref_recorded(self):
+        bit, p1, p2 = self.make_two_units()
+        assert ["std2", "base"] in [list(d) for d in p2["depends"]]
+        enc = p2["nodes"][0][1]["vtype"]
+        assert "$f" in enc
+
+    def test_foreign_resolution_shares_identity(self):
+        """'resolving any nested foreign references' — and sharing,
+        because foreign refs are pointers into the owning unit."""
+        bit, p1, p2 = self.make_two_units()
+        store = {("std2", "base"): p1, ("work", "top"): p2}
+        reader = VIFReader(lambda l, u: store.get((l, u)))
+        top = reader.read_unit("work", "top")
+        base = reader.read_unit("std2", "base")
+        assert top["obj"].vtype is base["bit"]
+
+    def test_transitive_foreign_loading(self):
+        bit, integer = fresh_types()
+        p1 = VIFWriter("l1", "a").write({"bit": bit})
+        rng = IndexRange(left=7, direction="downto", right=0)
+        bv = ArrayType(name="bv", index_type=integer, element_type=bit)
+        p2 = VIFWriter("l2", "b").write({"bv": bv, "i": integer})
+        sub = ArraySubtype(name="byte", base_type=bv, index_range=rng)
+        p3 = VIFWriter("l3", "c").write({"byte": sub})
+        store = {("l1", "a"): p1, ("l2", "b"): p2, ("l3", "c"): p3}
+        reader = VIFReader(lambda l, u: store.get((l, u)))
+        c = reader.read_unit("l3", "c")
+        # c -> b -> a chain resolves.
+        assert c["byte"].element_type.literals == ["'0'", "'1'"]
+
+    def test_missing_unit_raises(self):
+        reader = VIFReader(lambda l, u: None)
+        with pytest.raises(VIFError):
+            reader.read_unit("nope", "missing")
+
+
+class TestDump:
+    def test_human_readable_form(self):
+        bit, integer = fresh_types()
+        payload = VIFWriter("work", "u").write({"bit": bit, "i": integer})
+        text = dump_unit(payload)
+        assert "VIF unit work.u" in text
+        assert "EnumType" in text
+        assert ".literals" in text
+
+    def test_dump_shows_foreign_refs(self):
+        bit, _ = fresh_types()
+        VIFWriter("other", "o").write({"bit": bit})
+        obj = ObjectEntry(name="x", obj_class="signal", vtype=bit)
+        payload = VIFWriter("work", "u").write({"obj": obj})
+        text = dump_unit(payload)
+        assert "@other.o#" in text
+
+
+class TestGeneratedModule:
+    def test_registry_covers_schema(self):
+        from repro.vif import nodes
+
+        registry = nodes.registry()
+        assert "EnumType" in registry
+        cls, new, write, read, dump = registry["EnumType"]
+        node = new(name="t", literals=["a"])
+        assert node.name == "t"
+
+    def test_generated_source_is_substantial(self):
+        from repro.vif import nodes
+
+        src = nodes.generated_source()
+        assert len(src.splitlines()) > 500
+        assert "def write_EnumType" in src
+        assert "def read_ArchUnit" in src
+        assert "def dump_PackageUnit" in src
+
+    def test_unit_nodes_have_unit_behavior(self):
+        pkg = PackageUnit(name="p", decls=[])
+        assert pkg.entry_kind == "package"
+        assert pkg.visible_decls() == []

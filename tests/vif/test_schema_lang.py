@@ -1,0 +1,83 @@
+"""Tests for the declarative VIF schema notation and its AG processor."""
+
+import pytest
+
+from repro.vif.core import VIFError
+from repro.vif.schema_lang import parse_schema, schema_statistics
+
+
+GOOD = """
+-- a node with a mixin
+node Point mixin repro.vhdl.vtypes:IndexRangeBehavior
+  x : int
+  y : int
+end
+
+node Bag
+  items : list
+  label : str
+end
+"""
+
+
+class TestParsing:
+    def test_parses_declarations(self):
+        decls = parse_schema(GOOD)
+        assert [d.kind for d in decls] == ["Point", "Bag"]
+        assert decls[0].mixin == "repro.vhdl.vtypes:IndexRangeBehavior"
+        assert decls[1].mixin is None
+        assert [f.name for f in decls[0].fields] == ["x", "y"]
+        assert [f.ftype for f in decls[1].fields] == ["list", "str"]
+
+    def test_comments_ignored(self):
+        decls = parse_schema("-- nothing\nnode N\n  a : int\nend\n")
+        assert len(decls) == 1
+
+    def test_empty_fields_allowed(self):
+        decls = parse_schema("node Empty\nend")
+        assert decls[0].fields == []
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(VIFError) as info:
+            parse_schema("node A\nend\nnode A\nend")
+        assert "declared twice" in str(info.value)
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(VIFError):
+            parse_schema("node A\n  x : int\n  x : str\nend")
+
+    def test_unknown_field_type_rejected(self):
+        with pytest.raises(VIFError):
+            parse_schema("node A\n  x : banana\nend")
+
+    def test_line_numbers_recorded(self):
+        decls = parse_schema("\n\nnode Late\nend")
+        assert decls[0].line == 3
+
+    def test_processor_is_an_attribute_grammar(self):
+        """The paper's footnote: the VIF description program 'is also
+        written as an AG'."""
+        stats = schema_statistics()
+        assert stats.productions >= 6
+        assert stats.implicit_rules > 0
+
+
+class TestRealSchema:
+    def test_shipped_schema_parses(self):
+        from repro.vif.nodes import schema_text
+
+        decls = parse_schema(schema_text())
+        kinds = {d.kind for d in decls}
+        assert "EnumType" in kinds
+        assert "ArchUnit" in kinds
+        assert "ObjectEntry" in kinds
+
+    def test_all_mixins_resolve(self):
+        import importlib
+
+        from repro.vif.nodes import schema_text
+
+        for decl in parse_schema(schema_text()):
+            if decl.mixin:
+                module, cls = decl.mixin.split(":")
+                assert hasattr(importlib.import_module(module), cls)
