@@ -1,0 +1,47 @@
+"""Incremental build subsystem.
+
+The paper's architecture (§2) stores compiled units in persistent
+work/reference libraries of immutable VIF — exactly the substrate an
+incremental build system needs.  This package turns the one-shot
+:class:`repro.vhdl.compiler.Compiler` into an incremental, parallel
+build system:
+
+``fingerprint``
+    Stable content hashes over the canonical *token stream* (so
+    whitespace/comment edits do not invalidate) and per-unit
+    *interface digests* over the VIF payload with volatile fields
+    stripped (so body-only recompiles do not cascade).
+
+``depgraph``
+    A unit-level dependency DAG harvested from the ``depends`` sets
+    the :class:`repro.vif.io.VIFWriter` records on every payload.
+
+``cache``
+    The ``build.state.json`` manifest in the library root: source
+    fingerprints, per-unit digests, dependency edges, and the
+    recorded compile order — written atomically, loaded tolerantly.
+
+``scheduler``
+    Topological batch scheduling with optional parallel workers
+    (``fork``-based so the generated principal grammar is inherited,
+    not rebuilt per worker).
+
+``driver``
+    The :class:`IncrementalBuilder` facade that rebuilds only files
+    whose fingerprint or transitive interface digest changed.
+"""
+
+from .cache import BuildCache
+from .depgraph import DependencyGraph
+from .driver import BuildError, BuildReport, IncrementalBuilder
+from .fingerprint import interface_digest, source_fingerprint
+
+__all__ = [
+    "BuildCache",
+    "BuildError",
+    "BuildReport",
+    "DependencyGraph",
+    "IncrementalBuilder",
+    "interface_digest",
+    "source_fingerprint",
+]

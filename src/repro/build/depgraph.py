@@ -1,0 +1,120 @@
+"""The unit-level dependency DAG.
+
+Edges come straight from the ``depends`` set the
+:class:`repro.vif.io.VIFWriter` records on every payload whenever it
+encodes a foreign reference — i.e. whenever a compiled unit points at
+a node owned by another unit (a ``use``\\ d package, the entity of an
+architecture, a configured component's entity, ...).  That makes the
+graph a faithful "what did this compile actually read" record rather
+than a syntactic approximation.
+
+Nodes are ``(library, key)`` pairs exactly as in
+``LibraryManager.compile_order``.  The graph is JSON-serializable so
+the build cache can persist it in ``build.state.json``.
+"""
+
+
+class DependencyGraph:
+    """Directed graph: unit -> set of units it depends on."""
+
+    def __init__(self):
+        self._deps = {}  # (lib, key) -> set((lib, key))
+
+    # -- construction ------------------------------------------------------
+
+    def set_deps(self, node, deps):
+        """Record (replacing) the dependency set of ``node``."""
+        node = tuple(node)
+        self._deps[node] = {tuple(d) for d in deps if tuple(d) != node}
+
+    def add_node(self, node):
+        self._deps.setdefault(tuple(node), set())
+
+    def discard(self, node):
+        self._deps.pop(tuple(node), None)
+
+    # -- queries -----------------------------------------------------------
+
+    def nodes(self):
+        return sorted(self._deps)
+
+    def deps_of(self, node):
+        """Direct dependencies, deterministic order."""
+        return sorted(self._deps.get(tuple(node), ()))
+
+    def dependents_of(self, node):
+        """Direct reverse edges: who depends on ``node``."""
+        node = tuple(node)
+        return sorted(n for n, deps in self._deps.items() if node in deps)
+
+    def transitive_dependents(self, nodes):
+        """Every unit reachable by following reverse edges from
+        ``nodes`` (the invalidation frontier), excluding the seeds."""
+        seeds = {tuple(n) for n in nodes}
+        out = set()
+        frontier = set(seeds)
+        while frontier:
+            nxt = set()
+            for n, deps in self._deps.items():
+                if n not in out and n not in seeds and deps & frontier:
+                    nxt.add(n)
+            out |= nxt
+            frontier = nxt
+        return sorted(out)
+
+    # -- scheduling --------------------------------------------------------
+
+    def topo_batches(self, nodes=None):
+        """Kahn layering restricted to ``nodes`` (default: all).
+
+        Returns a list of batches; every unit in a batch depends only
+        on units in earlier batches (edges leaving the restricted set
+        are ignored).  Batches and their contents are sorted, so the
+        schedule is deterministic.  Cycles — which a correct VHDL
+        library cannot contain, but a corrupt manifest might — are
+        flushed as one final sorted batch rather than looping forever.
+        """
+        if nodes is None:
+            pool = set(self._deps)
+        else:
+            pool = {tuple(n) for n in nodes}
+        remaining = {
+            n: {d for d in self._deps.get(n, ()) if d in pool}
+            for n in pool
+        }
+        batches = []
+        while remaining:
+            ready = sorted(n for n, deps in remaining.items() if not deps)
+            if not ready:  # cycle: emit deterministically and stop
+                batches.append(sorted(remaining))
+                break
+            batches.append(ready)
+            for n in ready:
+                del remaining[n]
+            ready_set = set(ready)
+            for deps in remaining.values():
+                deps -= ready_set
+        return batches
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self):
+        return {
+            "%s\x1f%s" % node: sorted("%s\x1f%s" % d for d in deps)
+            for node, deps in sorted(self._deps.items())
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        graph = cls()
+        for node_s, deps_s in (data or {}).items():
+            node = tuple(node_s.split("\x1f", 1))
+            if len(node) != 2:
+                continue
+            deps = [
+                tuple(d.split("\x1f", 1))
+                for d in deps_s
+                if "\x1f" in d
+            ]
+            graph.set_deps(node, deps)
+        return graph

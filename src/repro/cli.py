@@ -4,6 +4,7 @@
 interface" (§2).  This is the script-driven one::
 
     python -m repro compile design.vhd --root ./libs
+    python -m repro build pkg.vhd top.vhd --root ./libs --jobs 4
     python -m repro dump work rtl(counter) --root ./libs
     python -m repro simulate testbench --root ./libs --until 200ns \
         --trace clk --trace q
@@ -47,6 +48,17 @@ def _make_parser():
     p.add_argument("files", nargs="+")
     p.add_argument("--keep-going", action="store_true",
                    help="report diagnostics without failing")
+
+    p = sub.add_parser(
+        "build",
+        help="incremental parallel build (skips unchanged files)")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="compile independent files with N workers")
+    p.add_argument("--force", action="store_true",
+                   help="rebuild everything, ignoring the cache")
+    p.add_argument("--no-stats", action="store_true",
+                   help="suppress the cache-stats report line")
 
     p = sub.add_parser("dump", help="human-readable VIF of a unit")
     p.add_argument("library")
@@ -93,6 +105,38 @@ def cmd_compile(args, out):
         if not result.ok:
             failures += 1
     return 1 if failures and not args.keep_going else 0
+
+
+def cmd_build(args, out):
+    from .build import BuildError, IncrementalBuilder
+
+    if args.root is None:
+        out("build: a persistent --root is required "
+            "(the cache lives in <root>/build.state.json)")
+        return 2
+    try:
+        builder = IncrementalBuilder(
+            args.root, work=args.work,
+            reference_libs=tuple(args.ref), jobs=args.jobs)
+        report = builder.build(args.files, force=args.force)
+    except BuildError as exc:
+        out("build: %s" % exc)
+        return 2
+    for path in report.order:
+        action = report.actions[path]
+        reason = report.reasons.get(path, "")
+        out("%-8s %s%s" % (action, path,
+                           "  (%s)" % reason if reason else ""))
+        for message in report.messages.get(path, ()):
+            out("  %s" % message)
+    if not args.no_stats:
+        s = report.stats
+        out("cache: %d hit(s), %d miss(es), %d invalidated, "
+            "%d AG evaluation(s), jobs=%d"
+            % (s.get("hits", 0), s.get("misses", 0),
+               s.get("invalidated", 0), s.get("ag_evaluations", 0),
+               report.jobs))
+    return 0 if report.ok else 1
 
 
 def cmd_dump(args, out):
@@ -148,6 +192,7 @@ def cmd_stats(args, out):
 
 
 COMMANDS = {
+    "build": cmd_build,
     "compile": cmd_compile,
     "dump": cmd_dump,
     "list": cmd_list,

@@ -32,23 +32,45 @@ class CompileResult:
     """Outcome of compiling one source file."""
 
     def __init__(self, units, messages, timings, source_lines,
-                 expr_evals):
+                 expr_evals, registered_units=()):
         self.units = list(units)
         self.messages = list(messages)
         self.timings = dict(timings)
         self.source_lines = source_lines
         self.expr_evals = expr_evals
+        #: (lib, key) library entries this compile registered, in
+        #: registration order — the incremental build driver's view.
+        self.registered_units = list(registered_units)
 
     @property
     def ok(self):
         return not self.messages
 
     def unit_names(self):
-        return [getattr(u, "name", "?") for u in self.units]
+        """Names of the compiled units.
+
+        Every VIF unit kind guarantees a ``name`` field; a unit
+        arriving here without one is an internal error worth a clear
+        diagnostic, not a silent ``"?"`` placeholder.
+        """
+        names = []
+        for u in self.units:
+            name = getattr(u, "name", None)
+            if not name:
+                raise CompileError([
+                    "internal: compilation produced an unnamed %s "
+                    "unit — VIF units must carry a name"
+                    % type(u).__name__])
+            names.append(name)
+        return names
 
     def __repr__(self):
+        # repr must never raise; show a placeholder for the
+        # pathological unnamed case unit_names() diagnoses loudly.
+        shown = ", ".join(
+            getattr(u, "name", None) or "<unnamed>" for u in self.units)
         return "<CompileResult %s: %d message(s)>" % (
-            ", ".join(self.unit_names()), len(self.messages))
+            shown, len(self.messages))
 
 
 class Compiler:
@@ -131,8 +153,9 @@ class Compiler:
         timings["vif"] = time.perf_counter() - t0
 
         source_lines = _count_lines(text)
+        registered = self.library.compile_order[registered_before:]
         result = CompileResult(units, messages, timings, source_lines,
-                               expr_evals)
+                               expr_evals, registered_units=registered)
         if messages and self.strict:
             raise CompileError(messages)
         return result

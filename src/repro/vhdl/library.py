@@ -19,10 +19,38 @@ a declaration read from two different units is one node object.
 
 import json
 import os
+import tempfile
 
-from ..vif.io import VIFReader, VIFWriter, dump_unit
+from ..vif.core import VIFError
+from ..vif.io import VIFReader, VIFWriter, dump_unit, unit_depends
 from .stdpkg import standard
 from .symtab import entry_kind
+
+
+def unit_filename(key, suffix):
+    """Filesystem-safe artifact name for a unit key (shared with the
+    incremental-build driver, which probes artifacts directly)."""
+    safe = "".join(ch if ch.isalnum() or ch in "()._-" else "_"
+                   for ch in key)
+    return "%s.%s" % (safe, suffix)
+
+
+def _atomic_write(path, text):
+    """Write ``text`` to ``path`` via tempfile + ``os.replace`` so a
+    crash mid-write can never leave a truncated artifact behind."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp.",
+                               suffix=".part")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def unit_key(node):
@@ -51,10 +79,18 @@ class LibraryManager:
         self._libraries.update(reference_libs)
         self._read_only = set(reference_libs) | {"std"}
         self.compile_order = []  # (lib, key) in registration order
+        #: Corrupt on-disk artifacts moved aside at load time:
+        #: [(path, reason), ...] — inspect instead of crashing.
+        self.quarantined = []
         self.reader = VIFReader(self._load_payload)
         std = standard()
         self._units[("std", "standard")] = std.package
         self._payloads[("std", "standard")] = std.payload
+        # Foreign references into STANDARD must resolve to the
+        # singleton's node objects (identity-based typing), not to
+        # copies materialized from the payload.
+        self.reader.seed("std", "standard", std.node_table,
+                         {"unit": std.package})
         self.compile_order.append(("std", "standard"))
         if root is not None:
             self._load_root()
@@ -146,10 +182,24 @@ class LibraryManager:
         if payload is None and self.root is not None:
             path = self._path(lib, key, "vif.json")
             if os.path.exists(path):
-                with open(path) as f:
-                    payload = json.load(f)
+                try:
+                    with open(path) as f:
+                        payload = json.load(f)
+                except (json.JSONDecodeError, UnicodeDecodeError,
+                        OSError) as exc:
+                    self._quarantine(path, str(exc))
+                    return None
                 self._payloads[(lib, key)] = payload
         return payload
+
+    def _quarantine(self, path, reason):
+        """Move a corrupt artifact aside (``*.corrupt``) so the unit
+        reads as missing instead of raising at load time."""
+        self.quarantined.append((path, reason))
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass
 
     def payload_of(self, lib, key):
         return self._load_payload(lib, key)
@@ -166,25 +216,46 @@ class LibraryManager:
         path; used by benches to measure VIF time)."""
         return self.reader.read_unit(lib, key)["unit"]
 
+    def depends_of(self, lib, key):
+        """The stored dependency metadata of a unit: the ``(library,
+        unit)`` pairs its VIF payload records foreign references to
+        (what the compile actually read, per the writer's depends
+        set)."""
+        payload = self._load_payload(lib, key)
+        if payload is None:
+            return []
+        return unit_depends(payload)
+
+    def apply_compile_order(self, recorded):
+        """Reorder ``compile_order`` to match a recorded sequence.
+
+        Disk loading is alphabetical; an incremental build records the
+        true deterministic order so §3.3's latest-architecture default
+        is reproducible across sessions.  Entries not mentioned in
+        ``recorded`` (STANDARD, reference units) keep their relative
+        position at the front."""
+        recorded = [tuple(e) for e in recorded]
+        present = set(self.compile_order)
+        recorded_set = set(recorded)
+        self.compile_order = [
+            e for e in self.compile_order if e not in recorded_set
+        ] + [e for e in recorded if e in present]
+
     # -- disk persistence ----------------------------------------------------------
 
     def _path(self, lib, key, suffix):
-        safe = "".join(ch if ch.isalnum() or ch in "()._-" else "_"
-                       for ch in key)
-        return os.path.join(self.root, lib, "%s.%s" % (safe, suffix))
+        return os.path.join(self.root, lib, unit_filename(key, suffix))
 
     def _store(self, lib, key, node, payload):
         os.makedirs(os.path.join(self.root, lib), exist_ok=True)
-        with open(self._path(lib, key, "vif.json"), "w") as f:
-            json.dump(payload, f, indent=1)
+        _atomic_write(self._path(lib, key, "vif.json"),
+                      json.dumps(payload, indent=1))
         py = getattr(node, "py_source", "")
         if py:
-            with open(self._path(lib, key, "py"), "w") as f:
-                f.write(py)
+            _atomic_write(self._path(lib, key, "py"), py)
         c = getattr(node, "c_source", "")
         if c:
-            with open(self._path(lib, key, "c"), "w") as f:
-                f.write(c)
+            _atomic_write(self._path(lib, key, "c"), c)
 
     def _load_root(self):
         if not os.path.isdir(self.root):
@@ -198,7 +269,16 @@ class LibraryManager:
                 if not fname.endswith(".vif.json"):
                     continue
                 key = fname[: -len(".vif.json")]
-                roots = self.reader.read_unit(lib, key)
+                try:
+                    roots = self.reader.read_unit(lib, key)
+                except VIFError as exc:
+                    # Corrupt JSON was already quarantined by
+                    # _load_payload; a structurally bad payload is
+                    # quarantined here.  Either way, skip the unit.
+                    path = os.path.join(lib_dir, fname)
+                    if os.path.exists(path):
+                        self._quarantine(path, str(exc))
+                    continue
                 node = roots["unit"]
                 self._units[(lib, key)] = node
                 self.compile_order.append((lib, key))

@@ -118,9 +118,12 @@ class StandardPackage:
             ),
         )
         #: In-memory VIF payload for the std library.
-        self.payload = VIFWriter("std", "standard").write(
-            {"unit": self.package}
-        )
+        writer = VIFWriter("std", "standard")
+        self.payload = writer.write({"unit": self.package})
+        #: Nodes in VIF id order, for seeding readers so foreign
+        #: references into STANDARD resolve to these singleton objects
+        #: (type checking is identity-based).
+        self.node_table = writer.node_table
 
     def _build_literals(self):
         self.literal_entries = []

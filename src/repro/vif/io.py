@@ -18,6 +18,14 @@ from . import nodes as _nodes
 FORMAT = "VIF-1"
 
 
+def unit_depends(payload):
+    """The dependency metadata a payload carries: the sorted
+    ``(library, unit)`` pairs the writer recorded whenever it encoded
+    a foreign reference.  This is the ground truth the incremental
+    build system's dependency graph is harvested from."""
+    return [tuple(d) for d in payload.get("depends", [])]
+
+
 class VIFWriter:
     """Serializes one unit's roots into a JSON-able dict."""
 
@@ -62,6 +70,20 @@ class VIFWriter:
                 % (self.library, self.unit, exc)
             ) from exc
         return payload
+
+    @property
+    def depends(self):
+        """The ``(library, unit)`` pairs discovered so far (the same
+        set the payload carries under ``"depends"``)."""
+        return sorted(self._depends)
+
+    @property
+    def node_table(self):
+        """The owned nodes in id order (index == ``_vif_home`` id).
+        Lets a reader be seeded with the *original* objects so foreign
+        references from freshly loaded units resolve to them instead
+        of to materialized copies — identity, not equality."""
+        return list(self._order)
 
     # -- traversal ---------------------------------------------------------
 
@@ -115,6 +137,18 @@ class VIFReader:
         self._loader = loader
         self._cache = {}  # (library, unit) -> node list
         self._roots = {}  # (library, unit) -> {name: node}
+
+    def seed(self, library, unit, table, roots):
+        """Pre-populate the cache with live node objects.
+
+        Used for units whose canonical nodes already exist in this
+        process (e.g. the STANDARD package singleton): foreign
+        references into the seeded unit then resolve to those very
+        objects, preserving the identity semantics the type checker
+        relies on, instead of materializing divergent copies from the
+        payload."""
+        self._cache[(library, unit)] = list(table)
+        self._roots[(library, unit)] = dict(roots)
 
     def read_unit(self, library, unit):
         """Roots dict for a unit, loading transitively as needed."""

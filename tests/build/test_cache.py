@@ -1,0 +1,90 @@
+"""The build manifest: atomic persistence and tolerant loading."""
+
+import json
+import os
+
+from repro.build.cache import STATE_NAME, BuildCache
+
+
+def _populated(root):
+    cache = BuildCache(root)
+    cache.set_file_entry(
+        "/src/pkg.vhd", "f" * 64, [("work", "util")], {})
+    cache.set_file_entry(
+        "/src/top.vhd", "a" * 64,
+        [("work", "top"), ("work", "a(top)")],
+        {("work", "util"): "d" * 64})
+    cache.set_digest(("work", "util"), "d" * 64)
+    cache.graph.set_deps(("work", "a(top)"), [("work", "util")])
+    cache.compile_order = [
+        ("work", "util"), ("work", "top"), ("work", "a(top)")]
+    return cache
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        root = str(tmp_path)
+        _populated(root).save()
+        cache = BuildCache(root).load()
+        assert cache.loaded_from_disk
+        assert cache.files() == ["/src/pkg.vhd", "/src/top.vhd"]
+        entry = cache.file_entry("/src/top.vhd")
+        assert entry["units"] == [("work", "top"), ("work", "a(top)")]
+        assert cache.recorded_dep_digests("/src/top.vhd") == {
+            ("work", "util"): "d" * 64}
+        assert cache.digest_of(("work", "util")) == "d" * 64
+        assert cache.compile_order == [
+            ("work", "util"), ("work", "top"), ("work", "a(top)")]
+        assert cache.graph.deps_of(("work", "a(top)")) == [
+            ("work", "util")]
+
+    def test_save_is_atomic(self, tmp_path):
+        """The manifest is replaced, never truncated in place: no
+        temp droppings survive a successful save."""
+        root = str(tmp_path)
+        _populated(root).save()
+        _populated(root).save()
+        leftovers = [f for f in os.listdir(root) if f != STATE_NAME]
+        assert leftovers == []
+
+    def test_missing_manifest_is_cold(self, tmp_path):
+        cache = BuildCache(str(tmp_path)).load()
+        assert not cache.loaded_from_disk
+        assert cache.files() == []
+
+    def test_corrupt_manifest_quarantined(self, tmp_path):
+        root = str(tmp_path)
+        path = os.path.join(root, STATE_NAME)
+        with open(path, "w") as f:
+            f.write("{ this is not json")
+        cache = BuildCache(root).load()
+        assert not cache.loaded_from_disk
+        assert cache.stats["quarantined"] == 1
+        assert os.path.exists(path + ".corrupt")
+        assert not os.path.exists(path)
+
+    def test_version_mismatch_is_cold_not_fatal(self, tmp_path):
+        root = str(tmp_path)
+        with open(os.path.join(root, STATE_NAME), "w") as f:
+            json.dump({"version": 999}, f)
+        cache = BuildCache(root).load()
+        assert not cache.loaded_from_disk
+
+    def test_owner_of(self, tmp_path):
+        cache = _populated(str(tmp_path))
+        assert cache.owner_of(("work", "util")) == "/src/pkg.vhd"
+        assert cache.owner_of(("work", "ghost")) is None
+
+
+class TestAccounting:
+    def test_stats(self, tmp_path):
+        cache = BuildCache(str(tmp_path))
+        cache.record_hit()
+        cache.record_miss()
+        cache.record_miss()
+        cache.record_invalidation()
+        assert cache.stats["hits"] == 1
+        assert cache.stats["misses"] == 2
+        assert cache.stats["invalidated"] == 1
+        text = cache.format_stats()
+        assert "1 hit(s)" in text and "2 miss(es)" in text

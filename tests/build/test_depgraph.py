@@ -1,0 +1,59 @@
+"""The unit dependency DAG and its persistence."""
+
+from repro.build.depgraph import DependencyGraph
+
+
+def _sample():
+    g = DependencyGraph()
+    g.set_deps(("work", "a(top)"), [("work", "top"), ("work", "util")])
+    g.set_deps(("work", "top"), [("work", "util")])
+    g.set_deps(("work", "util"), [("std", "standard")])
+    g.add_node(("std", "standard"))
+    return g
+
+
+class TestGraph:
+    def test_deps_and_dependents(self):
+        g = _sample()
+        assert g.deps_of(("work", "top")) == [("work", "util")]
+        assert g.dependents_of(("work", "util")) == [
+            ("work", "a(top)"), ("work", "top")]
+
+    def test_transitive_dependents(self):
+        g = _sample()
+        assert g.transitive_dependents([("std", "standard")]) == [
+            ("work", "a(top)"), ("work", "top"), ("work", "util")]
+
+    def test_self_edges_dropped(self):
+        g = DependencyGraph()
+        g.set_deps(("work", "x"), [("work", "x"), ("work", "y")])
+        assert g.deps_of(("work", "x")) == [("work", "y")]
+
+    def test_topo_batches_layering(self):
+        g = _sample()
+        batches = g.topo_batches()
+        assert batches == [
+            [("std", "standard")],
+            [("work", "util")],
+            [("work", "top")],
+            [("work", "a(top)")],
+        ]
+
+    def test_topo_batches_restricted(self):
+        g = _sample()
+        batches = g.topo_batches([("work", "top"), ("work", "a(top)")])
+        assert batches == [[("work", "top")], [("work", "a(top)")]]
+
+    def test_cycle_flushes_deterministically(self):
+        g = DependencyGraph()
+        g.set_deps(("w", "a"), [("w", "b")])
+        g.set_deps(("w", "b"), [("w", "a")])
+        batches = g.topo_batches()
+        assert batches == [[("w", "a"), ("w", "b")]]
+
+    def test_roundtrip_json(self):
+        g = _sample()
+        g2 = DependencyGraph.from_json(g.to_json())
+        assert g2.to_json() == g.to_json()
+        assert g2.deps_of(("work", "a(top)")) == \
+            g.deps_of(("work", "a(top)"))

@@ -1,0 +1,90 @@
+"""Name harvesting and topological file batching."""
+
+from repro.build.scheduler import file_batches, harvest_names
+from repro.vhdl.lexer import scan
+
+
+def _names(source, **kw):
+    return harvest_names(scan(source), **kw)
+
+
+class TestHarvest:
+    def test_entity_and_package_provide(self):
+        provides, requires = _names(
+            "entity e is end e; package p is end p;")
+        assert provides == {"e", "p"}
+        assert requires == set()
+
+    def test_architecture_requires_entity(self):
+        provides, requires = _names(
+            "architecture rtl of cnt is begin end rtl;")
+        assert provides == set()
+        assert requires == {"cnt"}
+
+    def test_configuration_provides_and_requires(self):
+        provides, requires = _names(
+            "configuration c of top is for a end for; end c;")
+        assert provides == {"c"}
+        assert requires == {"top"}
+
+    def test_package_body_requires_package(self):
+        provides, requires = _names(
+            "package body util is end util;")
+        assert requires == {"util"}
+
+    def test_use_clause_requires(self):
+        _, requires = _names(
+            "use work.util.all; entity e is end e;")
+        assert "util" in requires
+
+    def test_selected_name_requires(self):
+        _, requires = _names(
+            "entity e is end e;\n"
+            "architecture a of e is\n"
+            "  signal n : integer := work.cfg.depth;\n"
+            "begin end a;")
+        assert "cfg" in requires
+
+    def test_library_clause_names_become_visible(self):
+        _, requires = _names(
+            "library vendor; use vendor.cells.all; entity e is end e;")
+        assert "cells" in requires
+
+    def test_same_file_provision_not_required(self):
+        provides, requires = _names(
+            "entity e is end e;\n"
+            "architecture a of e is begin end a;")
+        assert provides == {"e"}
+        assert "e" not in requires
+
+    def test_bound_entity_reference(self):
+        _, requires = _names(
+            "architecture b of top is\n"
+            "  component leaf port ( x : in bit ); end component;\n"
+            "  for u1 : leaf use entity work.leaf(plus);\n"
+            "begin end b;")
+        assert "leaf" in requires
+
+
+class TestFileBatches:
+    def test_layers_respect_deps(self):
+        batches = file_batches(
+            ["a", "b", "c"], {"b": {"a"}, "c": {"a"}})
+        assert batches == [["a"], ["b", "c"]]
+
+    def test_input_order_tie_break(self):
+        batches = file_batches(["z", "m", "a"], {})
+        assert batches == [["z", "m", "a"]]
+
+    def test_chain(self):
+        batches = file_batches(
+            ["a", "b", "c"], {"b": {"a"}, "c": {"b"}})
+        assert batches == [["a"], ["b"], ["c"]]
+
+    def test_cycle_degrades_to_singletons(self):
+        batches = file_batches(["a", "b"], {"a": {"b"}, "b": {"a"}})
+        assert batches == [["a"], ["b"]]
+
+    def test_external_deps_ignored(self):
+        batches = file_batches(["a"], {"a": {"/not/in/build"}})
+        assert batches == [["a"]]

@@ -125,3 +125,42 @@ class TestStats:
         text = "\n".join(collect.lines)
         assert "vhdl_principal" in text
         assert "max visits" in text
+
+
+class TestBuildCommand:
+    def test_build_requires_root(self, project, collect):
+        src, _root = project
+        rc = main(["build", src], out=collect)
+        assert rc == 2
+        assert any("--root" in line for line in collect.lines)
+
+    def test_build_then_warm_rebuild(self, project, collect):
+        src, root = project
+        rc = main(["--root", root, "build", src], out=collect)
+        assert rc == 0
+        assert any(line.startswith("compiled") for line in collect.lines)
+        assert any("cache:" in line and "1 miss(es)" in line
+                   for line in collect.lines)
+        del collect.lines[:]
+        rc = main(["--root", root, "build", src], out=collect)
+        assert rc == 0
+        assert any(line.startswith("hit") for line in collect.lines)
+        assert any("0 AG evaluation(s)" in line
+                   for line in collect.lines)
+
+    def test_build_force_and_jobs_flags(self, project, collect):
+        src, root = project
+        main(["--root", root, "build", src], out=lambda *_: None)
+        rc = main(["--root", root, "build", src, "--force",
+                   "--jobs", "2"], out=collect)
+        assert rc == 0
+        assert any(line.startswith("compiled") and "forced" in line
+                   for line in collect.lines)
+
+    def test_build_reports_failures(self, tmp_path, collect):
+        bad = tmp_path / "bad.vhd"
+        bad.write_text("entity e is port ( x : in nosuch ); end e;")
+        root = str(tmp_path / "libs")
+        rc = main(["--root", root, "build", str(bad)], out=collect)
+        assert rc == 1
+        assert any(line.startswith("failed") for line in collect.lines)

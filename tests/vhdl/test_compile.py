@@ -305,3 +305,24 @@ class TestTypeChecking:
             end a;
         """)
         assert any("cannot be read" in m for m in msgs)
+
+
+class TestCompileResultUnitNames:
+    """Regression: unnamed units used to map to a silent "?"."""
+
+    def test_named_units(self):
+        c = Compiler(strict=False)
+        res = c.compile("entity e is end e;")
+        assert res.unit_names() == ["e"]
+
+    def test_unnamed_unit_raises_clear_diagnostic(self):
+        from repro.vhdl.compiler import CompileResult
+
+        class Nameless:
+            name = ""
+
+        res = CompileResult([Nameless()], [], {}, 0, 0)
+        with pytest.raises(CompileError, match="unnamed"):
+            res.unit_names()
+        # repr stays safe even for the pathological case.
+        assert "<unnamed>" in repr(res)
