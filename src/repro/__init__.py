@@ -18,8 +18,10 @@ The package is organized as the paper's system was:
   evaluation over LEF token lists).
 - :mod:`repro.sim` — the target virtual machine: simulation kernel,
   runtime support, VHDL I/O, and name server.
+- :mod:`repro.diag` — structured diagnostics (spans, SARIF), phase
+  tracing (Chrome trace events), and AG evaluation observability.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["ag", "applicative", "vif", "vhdl", "sim"]
+__all__ = ["ag", "applicative", "vif", "vhdl", "sim", "diag", "build"]

@@ -53,13 +53,29 @@ class NotOrderedError(AGError):
 
 
 class ParseError(AGError):
-    """Input text rejected by a generated parser."""
+    """Input text rejected by a generated parser.
 
-    def __init__(self, message, line=None, column=None):
+    Carries a full source anchor — ``file``, ``line``, ``column`` —
+    so multi-file compiles can attribute the error, and keeps the
+    unprefixed text in ``raw_message`` for structured-diagnostic
+    conversion (:meth:`repro.diag.DiagnosticEngine.add_exception`).
+    """
+
+    def __init__(self, message, line=None, column=None, file=None):
         self.line = line
         self.column = column
+        self.file = file
+        self.raw_message = message
         if line is not None:
-            message = "line %s: %s" % (line, message)
+            if file is not None:
+                where = "%s:%s" % (file, line)
+                if column is not None:
+                    where += ":%s" % column
+                message = "%s: %s" % (where, message)
+            else:
+                message = "line %s: %s" % (line, message)
+        elif file is not None:
+            message = "%s: %s" % (file, message)
         super().__init__(message)
 
 

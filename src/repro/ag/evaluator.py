@@ -20,17 +20,21 @@ from .lr.parser import ParseTree
 class DynamicEvaluator:
     """Evaluator for one compiled AG and one root-inherited valuation."""
 
-    def __init__(self, compiled, inherited=None):
+    def __init__(self, compiled, inherited=None, observer=None):
         self.compiled = compiled
         self.attr_table = compiled.attr_table
         self.inherited = dict(inherited or {})
         self.evaluations = 0  # rule applications, for the E4 bench
+        #: optional :class:`repro.diag.AGObserver` counter sink
+        self.observer = observer
 
     # -- public API -----------------------------------------------------------
 
     def attribute(self, node, name):
         """Value of attribute ``name`` on (the LHS instance of) ``node``."""
         if name in node.attrs:
+            if self.observer is not None:
+                self.observer.record_hit()
             return node.attrs[name]
         self._force(node, name)
         return node.attrs[name]
@@ -160,6 +164,10 @@ class DynamicEvaluator:
                     )
                 ) from exc
             self.evaluations += 1
+            if self.observer is not None:
+                self.observer.record_miss()
+                self.observer.record_firing(
+                    owner.production, grammar=self.compiled.name)
             cur_node.attrs[cur_name] = result
             on_stack.discard((cur_node, cur_name))
             stack.pop()
@@ -173,6 +181,9 @@ def _extract_cycle(stack, instance):
     return stack[start:] + [instance]
 
 
-def evaluate_tree(compiled, tree, inherited=None, goals=None):
+def evaluate_tree(compiled, tree, inherited=None, goals=None,
+                  observer=None):
     """Convenience wrapper: evaluate ``tree`` and return goal attributes."""
-    return DynamicEvaluator(compiled, inherited).goal_attributes(tree, goals)
+    return DynamicEvaluator(
+        compiled, inherited, observer=observer
+    ).goal_attributes(tree, goals)

@@ -161,14 +161,16 @@ class Lexer:
                     pos = m.end()
                     continue
             if self._token_re is None:
-                raise LexError("no token rules", line=line)
+                raise LexError("no token rules", line=line,
+                               file=filename)
             m = self._token_re.match(text, pos)
             if m is None or m.end() == pos:
                 snippet = text[pos : pos + 20].splitlines()[0]
                 raise LexError(
-                    "%s: cannot scan %r" % (filename, snippet),
+                    "cannot scan %r" % snippet,
                     line=line,
                     column=pos - line_start + 1,
+                    file=filename,
                 )
             group = m.lastgroup
             lexeme = m.group()

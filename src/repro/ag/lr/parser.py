@@ -106,15 +106,15 @@ class Parser:
             if act is None:
                 expected = self.tables.expected_terminals(state)
                 raise ParseError(
-                    "%s: unexpected %s %r (expected one of: %s)"
+                    "unexpected %s %r (expected one of: %s)"
                     % (
-                        filename,
                         token.kind,
                         token.text,
                         ", ".join(expected[:12]),
                     ),
                     line=token.line,
                     column=token.column,
+                    file=filename,
                 )
             if act[0] == SHIFT:
                 state_stack.append(act[1])

@@ -256,18 +256,24 @@ class CompiledAG:
     def parse(self, tokens, filename="<input>"):
         return self.parser.parse(tokens, filename)
 
-    def evaluate(self, tree, inherited=None, goals=None):
+    def evaluate(self, tree, inherited=None, goals=None, observer=None):
         """Evaluate attributes over ``tree``; return the root's goal
-        attributes (all root synthesized attributes by default)."""
+        attributes (all root synthesized attributes by default).
+
+        ``observer`` is an optional :class:`repro.diag.AGObserver`
+        that receives rule-firing and memo-hit counters.
+        """
         from .evaluator import DynamicEvaluator
 
-        evaluator = DynamicEvaluator(self, inherited or {})
+        evaluator = DynamicEvaluator(self, inherited or {},
+                                     observer=observer)
         return evaluator.goal_attributes(tree, goals)
 
-    def run(self, tokens, inherited=None, goals=None, filename="<input>"):
+    def run(self, tokens, inherited=None, goals=None, filename="<input>",
+            observer=None):
         """Parse + evaluate in one step."""
         tree = self.parse(tokens, filename)
-        return self.evaluate(tree, inherited, goals)
+        return self.evaluate(tree, inherited, goals, observer=observer)
 
     def analyze(self):
         """Run (and cache) the ordered-AG analysis."""

@@ -20,12 +20,14 @@ from .ordered import EVAL, VISIT
 class StaticEvaluator:
     """Evaluator driven by precomputed visit sequences."""
 
-    def __init__(self, compiled, inherited=None):
+    def __init__(self, compiled, inherited=None, observer=None):
         self.compiled = compiled
         self.analysis = compiled.analyze()
         self.attr_table = compiled.attr_table
         self.inherited = dict(inherited or {})
         self.evaluations = 0
+        #: optional :class:`repro.diag.AGObserver` counter sink
+        self.observer = observer
 
     def goal_attributes(self, tree, goals=None):
         """Run all root visits; return the root synthesized attributes."""
@@ -47,6 +49,8 @@ class StaticEvaluator:
 
     def run_visit(self, node, visit):
         """Execute visit ``visit`` of ``node`` (and nested child visits)."""
+        if self.observer is not None:
+            self.observer.record_visit(node.symbol)
         plans = self.analysis.plans[node.production.index]
         stack = [(node, iter(plans[visit - 1]))]
         while stack:
@@ -57,6 +61,8 @@ class StaticEvaluator:
                     self._apply(cur, action.rule)
                 else:
                     child = cur.children[action.child_pos - 1]
+                    if self.observer is not None:
+                        self.observer.record_visit(child.symbol)
                     child_plans = self.analysis.plans[
                         child.production.index
                     ]
@@ -99,3 +105,7 @@ class StaticEvaluator:
                 )
             ) from exc
         self.evaluations += 1
+        if self.observer is not None:
+            self.observer.record_miss()
+            self.observer.record_firing(
+                rule.production, grammar=self.compiled.name)

@@ -15,6 +15,7 @@ merely ``use`` the package stay cached.
 
 import os
 
+from ..diag import Tracer
 from ..vhdl.lexer import scan
 from .cache import STATE_NAME, BuildCache
 from .fingerprint import interface_digest, raw_fingerprint, \
@@ -36,13 +37,20 @@ class BuildReport:
         self.order = []        # paths, schedule order
         self.actions = {}      # path -> action
         self.reasons = {}      # path -> why it was rebuilt / skipped
-        self.messages = {}     # path -> [diagnostic, ...]
+        self.messages = {}     # path -> [legacy string, ...]
+        self.diagnostics = {}  # path -> [Diagnostic dict, ...]
         self.units = {}        # path -> [(lib, key), ...]
         self.stats = {}        # cache stats snapshot
         self.batches = []      # the file schedule that was used
         self.jobs = 1
+        #: merged Chrome trace events: driver phases + every worker's
+        #: compile phases (each carrying the recording pid)
+        self.trace_events = []
+        #: merged AG-evaluation counters across all compiled files
+        self.ag_stats = {}
 
-    def record(self, path, action, reason="", messages=(), units=()):
+    def record(self, path, action, reason="", messages=(), units=(),
+               diagnostics=()):
         if path not in self.actions:
             self.order.append(path)
         self.actions[path] = action
@@ -50,8 +58,21 @@ class BuildReport:
             self.reasons[path] = reason
         if messages:
             self.messages[path] = list(messages)
+        if diagnostics:
+            self.diagnostics[path] = [dict(d) for d in diagnostics]
         if units:
             self.units[path] = [tuple(u) for u in units]
+
+    def all_diagnostics(self):
+        """Structured :class:`repro.diag.Diagnostic` records, in
+        schedule order (for SARIF / JSON rendering)."""
+        from ..diag import Diagnostic
+
+        out = []
+        for path in self.order:
+            for d in self.diagnostics.get(path, ()):
+                out.append(Diagnostic.from_dict(d))
+        return out
 
     def paths(self, action):
         return [p for p in self.order if self.actions[p] == action]
@@ -108,27 +129,30 @@ class IncrementalBuilder:
         paths = self._normalize(paths)
         report = BuildReport()
         report.jobs = self.jobs
+        tracer = Tracer()
 
         texts = {}
-        for path in paths:
-            try:
-                with open(path) as f:
-                    texts[path] = f.read()
-            except OSError as exc:
-                raise BuildError("cannot read %s: %s" % (path, exc))
+        with tracer.phase("read_sources", files=len(paths)):
+            for path in paths:
+                try:
+                    with open(path) as f:
+                        texts[path] = f.read()
+                except OSError as exc:
+                    raise BuildError("cannot read %s: %s" % (path, exc))
 
         fingerprints, provides, requires = {}, {}, {}
-        for path, text in texts.items():
-            try:
-                tokens = scan(text, path)
-            except Exception:
-                fingerprints[path] = raw_fingerprint(text)
-                provides[path], requires[path] = set(), set()
-                continue
-            fingerprints[path] = tokens_fingerprint(tokens)
-            provides[path], requires[path] = harvest_names(
-                tokens, work=self.work,
-                reference_libs=self.reference_libs)
+        with tracer.phase("fingerprint", files=len(paths)):
+            for path, text in texts.items():
+                try:
+                    tokens = scan(text, path)
+                except Exception:
+                    fingerprints[path] = raw_fingerprint(text)
+                    provides[path], requires[path] = set(), set()
+                    continue
+                fingerprints[path] = tokens_fingerprint(tokens)
+                provides[path], requires[path] = harvest_names(
+                    tokens, work=self.work,
+                    reference_libs=self.reference_libs)
 
         # File-level scheduling DAG from the syntactic name sets.
         provider = {}
@@ -150,7 +174,7 @@ class IncrementalBuilder:
         scheduler = Scheduler(self.root, self.work,
                               self.reference_libs, jobs=self.jobs)
         try:
-            for batch in report.batches:
+            for batch_no, batch in enumerate(report.batches):
                 to_compile = []
                 for path in batch:
                     if deps[path] & failed:
@@ -170,14 +194,22 @@ class IncrementalBuilder:
                         self.cache.record_miss()
                         to_compile.append(path)
                         report.reasons[path] = reason
-                for result in scheduler.run_batch(to_compile):
+                with tracer.phase("batch", index=batch_no,
+                                  files=len(to_compile)):
+                    results = scheduler.run_batch(to_compile)
+                for result in results:
+                    tracer.add_events(result.get("trace", ()))
+                    _merge_ag_stats(report.ag_stats,
+                                    result.get("ag_stats", {}))
                     self._absorb(result, fingerprints, requires,
                                  new_digests, failed, report)
         finally:
             scheduler.close()
 
-        self.cache.save()
+        with tracer.phase("save_manifest"):
+            self.cache.save()
         report.stats = dict(self.cache.stats)
+        report.trace_events = tracer.events
         return report
 
     def library(self):
@@ -233,7 +265,8 @@ class IncrementalBuilder:
             self.cache.forget_file(path)
             report.record(path, "failed",
                           reason=report.reasons.get(path, ""),
-                          messages=result["messages"])
+                          messages=result["messages"],
+                          diagnostics=result.get("diagnostics", ()))
             return
         units = [(u["lib"], u["key"]) for u in result["units"]]
         unit_set = set(units)
@@ -271,7 +304,8 @@ class IncrementalBuilder:
         ] + units
         report.record(path, "compiled",
                       reason=report.reasons.get(path, ""),
-                      messages=result["messages"], units=units)
+                      messages=result["messages"], units=units,
+                      diagnostics=result.get("diagnostics", ()))
 
     def _resolve_requires(self, names):
         """Map syntactic required names to library units that exist
@@ -322,3 +356,17 @@ class IncrementalBuilder:
                 return json.load(f)
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             return None
+
+
+def _merge_ag_stats(into, stats):
+    """Fold one worker's AGObserver dict into the report aggregate."""
+    for key, value in (stats or {}).items():
+        if isinstance(value, dict):
+            bucket = into.setdefault(key, {})
+            for k, v in value.items():
+                bucket[k] = bucket.get(k, 0) + v
+        elif isinstance(value, (int, float)) and key != "hit_rate":
+            into[key] = into.get(key, 0) + value
+    hits = into.get("cache_hits", 0)
+    misses = into.get("cache_misses", 0)
+    into["hit_rate"] = hits / (hits + misses) if hits + misses else 0.0

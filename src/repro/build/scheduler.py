@@ -133,7 +133,10 @@ def compile_file_task(root, work, reference_libs, path):
 
     Runs in a worker process (or inline for a serial build) and
     returns only picklable primitives: produced units with their
-    ``depends`` edges and interface digests, diagnostics, timings.
+    ``depends`` edges and interface digests, diagnostics (both legacy
+    strings and structured dicts), phase-trace events (carrying this
+    worker's pid, so the driver's merged Chrome trace shows one row
+    per worker), and timings.
     """
     from ..vhdl.compiler import CompileError, Compiler
     from ..vhdl.library import LibraryManager
@@ -146,6 +149,9 @@ def compile_file_task(root, work, reference_libs, path):
         result = compiler.compile_file(path)
     except (CompileError, OSError) as exc:
         messages = getattr(exc, "messages", None) or [str(exc)]
+        diagnostics = [
+            d.to_dict() for d in getattr(exc, "diagnostics", ())
+        ]
         return {
             "path": path,
             "ok": False,
@@ -153,6 +159,9 @@ def compile_file_task(root, work, reference_libs, path):
             "units": [],
             "source_lines": 0,
             "timings": {},
+            "diagnostics": diagnostics,
+            "trace": list(compiler.tracer.events),
+            "ag_stats": compiler.observer.as_dict(),
         }
     units = []
     for lib, key in result.registered_units:
@@ -170,6 +179,9 @@ def compile_file_task(root, work, reference_libs, path):
         "units": units,
         "source_lines": result.source_lines,
         "timings": dict(result.timings),
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+        "trace": list(compiler.tracer.events),
+        "ag_stats": compiler.observer.as_dict(),
     }
 
 
@@ -226,6 +238,9 @@ class Scheduler:
                     "units": [],
                     "source_lines": 0,
                     "timings": {},
+                    "diagnostics": [],
+                    "trace": [],
+                    "ag_stats": {},
                 })
         return results
 

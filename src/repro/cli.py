@@ -4,18 +4,28 @@
 interface" (§2).  This is the script-driven one::
 
     python -m repro compile design.vhd --root ./libs
-    python -m repro build pkg.vhd top.vhd --root ./libs --jobs 4
+    python -m repro compile a.vhd b.vhd --diag-format sarif
+    python -m repro build pkg.vhd top.vhd --root ./libs --jobs 4 \
+        --profile --trace-out build-trace.json
     python -m repro dump work rtl(counter) --root ./libs
     python -m repro simulate testbench --root ./libs --until 200ns \
         --trace clk --trace q
-    python -m repro stats
+    python -m repro stats --json
 
 Compile places successfully compiled units into the working library
 (``--work``, default ``work``) under ``--root``; reference libraries
 named with ``--ref`` can be read but never updated.
+
+Observability flags (shared by ``compile`` and ``build``):
+``--diag-format text|json|sarif`` selects the diagnostic rendering,
+``--profile`` prints a per-phase wall-time table, ``--trace-out FILE``
+writes a Chrome trace-event JSON (one merged timeline, one row per
+build worker), ``-Werror`` promotes warnings to errors, and
+``--explain-cycle`` pretty-prints attribute-dependency cycles.
 """
 
 import argparse
+import json
 import sys
 
 from .sim import TIME_UNITS
@@ -42,6 +52,21 @@ def _make_parser():
                         help="working library name")
     parser.add_argument("--ref", action="append", default=[],
                         help="reference library (read-only)")
+    parser.add_argument("--diag-format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="diagnostic rendering: caret-annotated "
+                             "text, JSON lines, or SARIF 2.1.0")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase wall-time profile")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON "
+                             "(implies trace collection)")
+    parser.add_argument("-W", "--werror", dest="werror",
+                        action="store_true",
+                        help="treat warnings as errors (-Werror)")
+    parser.add_argument("--explain-cycle", action="store_true",
+                        help="pretty-print attribute dependency "
+                             "cycles with production context")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile VHDL source files")
@@ -76,7 +101,10 @@ def _make_parser():
     p.add_argument("--vcd", default=None,
                    help="write a VCD file of the traced signals")
 
-    sub.add_parser("stats", help="print the AG-statistics table")
+    p = sub.add_parser("stats", help="print the AG-statistics table")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="emit the §4.1 table as JSON (CI trend "
+                        "tracking)")
     return parser
 
 
@@ -87,14 +115,40 @@ def _library(args):
                           reference_libs=tuple(args.ref))
 
 
+def _emit_trace(tracer, args, out, default_path=None):
+    """Write the Chrome trace when requested; report where it went."""
+    path = args.trace_out
+    if path is None and args.profile:
+        path = default_path
+    if path:
+        tracer.write(path)
+        out("trace written to %s" % path)
+
+
 def cmd_compile(args, out):
-    from .vhdl.compiler import Compiler
+    from .ag.errors import CircularityError
+    from .diag import explain_cycle, render
+    from .vhdl.compiler import CompileError, Compiler
 
     compiler = Compiler(library=_library(args), work=args.work,
-                        strict=False)
+                        strict=False, werror=args.werror)
     failures = 0
+    all_diags = []
     for path in args.files:
-        result = compiler.compile_file(path)
+        try:
+            result = compiler.compile_file(path)
+        except CompileError as exc:
+            # Scan/parse failures abort one file, not the whole run.
+            out("%s: %d error(s)" % (path, len(exc.messages)))
+            for message in exc.messages:
+                out("  %s" % message)
+            cause = exc.__cause__
+            if args.explain_cycle and isinstance(cause,
+                                                 CircularityError):
+                out(explain_cycle(cause))
+            all_diags.extend(exc.diagnostics)
+            failures += 1
+            continue
         status = "ok" if result.ok else "%d error(s)" % len(
             result.messages)
         out("%s: %s (%d lines, units: %s)" % (
@@ -102,13 +156,25 @@ def cmd_compile(args, out):
             ", ".join(result.unit_names()) or "none"))
         for message in result.messages:
             out("  %s" % message)
+        all_diags.extend(result.diagnostics)
         if not result.ok:
             failures += 1
+    if args.diag_format != "text" and all_diags:
+        out(render(all_diags, args.diag_format))
+    if args.profile:
+        out(compiler.tracer.summary("compile profile"))
+        out(compiler.observer.summary())
+    _emit_trace(compiler.tracer, args, out,
+                default_path="repro-compile-trace.json")
+    if args.werror and any(
+            "[-Werror]" in d.message for d in all_diags):
+        failures = failures or 1
     return 1 if failures and not args.keep_going else 0
 
 
 def cmd_build(args, out):
     from .build import BuildError, IncrementalBuilder
+    from .diag import Tracer, render
 
     if args.root is None:
         out("build: a persistent --root is required "
@@ -136,6 +202,22 @@ def cmd_build(args, out):
             % (s.get("hits", 0), s.get("misses", 0),
                s.get("invalidated", 0), s.get("ag_evaluations", 0),
                report.jobs))
+    diags = report.all_diagnostics()
+    if args.diag_format != "text" and diags:
+        out(render(diags, args.diag_format))
+    tracer = Tracer()
+    tracer.add_events(report.trace_events)
+    if args.profile:
+        out(tracer.summary("build profile"))
+        firings = report.ag_stats.get("total_firings", 0)
+        if firings:
+            out("AG evaluation: %d rule firing(s) across workers"
+                % firings)
+    import os
+
+    _emit_trace(tracer, args, out,
+                default_path=os.path.join(args.root,
+                                          "build-trace.json"))
     return 0 if report.ok else 1
 
 
@@ -184,10 +266,15 @@ def cmd_stats(args, out):
     from .vhdl.expr_grammar import expr_grammar
     from .vhdl.grammar import principal_grammar
 
-    out(format_table([
+    stats = [
         principal_grammar().statistics(),
         expr_grammar().statistics(),
-    ]))
+    ]
+    if getattr(args, "as_json", False):
+        out(json.dumps({"grammars": [s.as_dict() for s in stats]},
+                       indent=2, sort_keys=True))
+        return 0
+    out(format_table(stats))
     return 0
 
 

@@ -1,0 +1,196 @@
+"""Diagnostic renderers: caret-annotated text, JSON lines, SARIF 2.1.0.
+
+Three audiences, three formats.  Humans get the caret view; log
+pipelines get one JSON object per line; CI/code-scanning backends get
+a SARIF 2.1.0 run (the OASIS static-analysis interchange format, the
+same shape GitHub code scanning ingests).
+"""
+
+import json
+
+from .diagnostic import (
+    CODE_DESCRIPTIONS,
+    ERROR,
+    FATAL,
+    NOTE,
+    WARNING,
+)
+
+TOOL_NAME = "repro"
+TOOL_INFO_URI = (
+    "https://example.invalid/repro-vhdl-ag"  # reproduction artifact
+)
+
+#: SARIF ``level`` values per severity.
+_SARIF_LEVEL = {NOTE: "note", WARNING: "warning", ERROR: "error",
+                FATAL: "error"}
+
+
+# -- caret-annotated text ----------------------------------------------------
+
+
+def _source_line(span, sources):
+    """The raw text of the spanned line, or None."""
+    if span is None or span.line is None or not span.file:
+        return None
+    text = None
+    if sources and span.file in sources:
+        text = sources[span.file]
+    else:
+        try:
+            with open(span.file) as f:
+                text = f.read()
+        except OSError:
+            return None
+    lines = text.splitlines()
+    if 1 <= span.line <= len(lines):
+        return lines[span.line - 1]
+    return None
+
+
+def render_text(diags, sources=None):
+    """Human-readable rendering with source excerpt and caret.
+
+    ``sources`` optionally maps file name -> full source text; files
+    not present are read from disk when possible, and silently skipped
+    (span header only) when not.
+    """
+    out = []
+    for diag in diags:
+        out.append(str(diag))
+        line_text = _source_line(diag.span, sources)
+        if line_text is not None:
+            gutter = "%5d" % diag.span.line
+            out.append("%s | %s" % (gutter, line_text))
+            col = diag.span.column or 1
+            width = 1
+            if (diag.span.end_column is not None
+                    and diag.span.end_line in (None, diag.span.line)):
+                width = max(1, diag.span.end_column - col)
+            out.append("%s | %s%s" % (" " * len(gutter),
+                                      " " * (col - 1), "^" * width))
+        for note in diag.notes:
+            out.append("      note: %s" % note)
+        for message, span in diag.related:
+            where = ("%s: " % span) if span is not None else ""
+            out.append("      related: %s%s" % (where, message))
+    return "\n".join(out)
+
+
+# -- JSON lines --------------------------------------------------------------
+
+
+def render_jsonl(diags):
+    """One compact JSON object per diagnostic, one per line."""
+    return "\n".join(
+        json.dumps(d.to_dict(), sort_keys=True) for d in diags
+    )
+
+
+# -- SARIF 2.1.0 -------------------------------------------------------------
+
+
+def sarif_run(diags, tool_name=TOOL_NAME, tool_version=None):
+    """The SARIF 2.1.0 log object (a dict) for one run."""
+    if tool_version is None:
+        try:
+            from .. import __version__ as tool_version
+        except ImportError:
+            tool_version = "0"
+    rule_ids = []
+    for d in diags:
+        if d.code not in rule_ids:
+            rule_ids.append(d.code)
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {
+                "text": CODE_DESCRIPTIONS.get(code, code)
+            },
+        }
+        for code in rule_ids
+    ]
+    results = []
+    for d in diags:
+        result = {
+            "ruleId": d.code,
+            "ruleIndex": rule_ids.index(d.code),
+            "level": _SARIF_LEVEL.get(d.severity, "error"),
+            "message": {"text": d.message},
+        }
+        locations = _sarif_locations(d.span)
+        if locations:
+            result["locations"] = locations
+        related = []
+        for message, span in d.related:
+            for loc in _sarif_locations(span):
+                loc["message"] = {"text": message}
+                related.append(loc)
+        if related:
+            result["relatedLocations"] = related
+        if d.notes:
+            result["properties"] = {"notes": list(d.notes)}
+        results.append(result)
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": str(tool_version),
+                        "informationUri": TOOL_INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def _sarif_locations(span):
+    if span is None or not span.file:
+        return []
+    region = {}
+    if span.line is not None:
+        region["startLine"] = span.line
+        if span.column is not None:
+            region["startColumn"] = span.column
+        if span.end_line is not None:
+            region["endLine"] = span.end_line
+        if span.end_column is not None:
+            region["endColumn"] = span.end_column
+    location = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": span.file},
+        }
+    }
+    if region:
+        location["physicalLocation"]["region"] = region
+    return [location]
+
+
+def render_sarif(diags, tool_name=TOOL_NAME, tool_version=None):
+    """SARIF 2.1.0 as a JSON string."""
+    return json.dumps(
+        sarif_run(diags, tool_name=tool_name,
+                  tool_version=tool_version),
+        indent=2, sort_keys=True)
+
+
+#: Format-name dispatch used by the CLI's ``--diag-format``.
+FORMATS = ("text", "json", "sarif")
+
+
+def render(diags, fmt="text", sources=None):
+    """Render ``diags`` in ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "text":
+        return render_text(diags, sources=sources)
+    if fmt == "json":
+        return render_jsonl(diags)
+    if fmt == "sarif":
+        return render_sarif(diags)
+    raise ValueError("unknown diagnostic format %r (expected one of %s)"
+                     % (fmt, ", ".join(FORMATS)))

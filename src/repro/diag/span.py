@@ -1,0 +1,92 @@
+"""Source spans: the file/line/column anchor of a diagnostic.
+
+Every diagnostic the compiler emits should point somewhere.  The
+paper's §5.2 discussion of maintaining a 9,000-rule AG makes the case
+bluntly: without source anchors, "which rule fired where" questions
+are unanswerable.  A :class:`SourceSpan` is a half-open region of one
+source file; a span with only a line is legal (semantic messages
+historically carried just a line number) and renders without a caret
+width.
+"""
+
+
+class SourceSpan:
+    """A region of one source file.
+
+    ``line``/``column`` are 1-based, matching editor conventions and
+    SARIF's ``region`` object.  ``end_line``/``end_column`` are
+    optional; when absent the span denotes a single point.
+    """
+
+    __slots__ = ("file", "line", "column", "end_line", "end_column")
+
+    def __init__(self, file=None, line=None, column=None,
+                 end_line=None, end_column=None):
+        self.file = file
+        self.line = line
+        self.column = column
+        self.end_line = end_line
+        self.end_column = end_column
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_token(cls, token, file=None):
+        """Span covering one scanned token."""
+        text = getattr(token, "text", "") or ""
+        line = getattr(token, "line", None) or None
+        column = getattr(token, "column", None) or None
+        end_column = None
+        if column is not None and text and "\n" not in text:
+            end_column = column + len(text)
+        return cls(file=file, line=line, column=column,
+                   end_line=line, end_column=end_column)
+
+    @classmethod
+    def from_dict(cls, d):
+        if d is None:
+            return None
+        return cls(
+            file=d.get("file"),
+            line=d.get("line"),
+            column=d.get("column"),
+            end_line=d.get("end_line"),
+            end_column=d.get("end_column"),
+        )
+
+    # -- views -------------------------------------------------------------
+
+    def to_dict(self):
+        out = {}
+        for field in self.__slots__:
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
+        return out
+
+    def sort_key(self):
+        return (self.file or "", self.line or 0, self.column or 0)
+
+    @property
+    def is_anchored(self):
+        """True when the span points at an actual source position."""
+        return self.line is not None
+
+    def __str__(self):
+        parts = [self.file or "<input>"]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        return ":".join(parts)
+
+    def __repr__(self):
+        return "SourceSpan(%s)" % self
+
+    def __eq__(self, other):
+        return isinstance(other, SourceSpan) and all(
+            getattr(self, f) == getattr(other, f) for f in self.__slots__
+        )
+
+    def __hash__(self):
+        return hash(tuple(getattr(self, f) for f in self.__slots__))

@@ -1,0 +1,180 @@
+"""Span-based phase tracing with Chrome trace-event export.
+
+Replaces the hand-rolled ``time.perf_counter()`` dicts that used to
+live in :mod:`repro.vhdl.compiler` and :mod:`repro.build.driver`.  A
+:class:`Tracer` records *complete* events (``ph: "X"``) via a
+context-manager API::
+
+    tracer = Tracer()
+    with tracer.phase("parse", file="top.vhd"):
+        tree = grammar.parse(tokens)
+    tracer.write("trace.json")     # chrome://tracing / Perfetto opens it
+
+Events are plain dicts — picklable, so fork workers in the parallel
+build scheduler ship their events back to the driver, which merges
+them into one trace.  Each event carries the recording process's pid
+and thread id; a merged multi-worker build therefore renders as one
+timeline with one row per worker, exactly what the §2.2 time-breakdown
+analysis needs at build scale.
+
+Timestamps use ``time.time()`` (epoch microseconds) so events recorded
+in different processes share a clock; durations use
+``time.perf_counter()`` for resolution.
+"""
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Tracer:
+    """Collects Chrome trace events (the `traceEvents` array)."""
+
+    def __init__(self, pid=None):
+        self.events = []
+        self._pid = pid if pid is not None else os.getpid()
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name, cat="phase", **args):
+        """Record one complete event around the ``with`` body.
+
+        Yields the event dict; ``dur`` (microseconds) is filled in on
+        exit, so callers can read the elapsed time afterwards::
+
+            with tracer.phase("scan") as ev: ...
+            seconds = ev["dur"] / 1e6
+        """
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": time.time() * 1e6,
+            "dur": 0.0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFF,
+        }
+        if args:
+            event["args"] = dict(args)
+        t0 = time.perf_counter()
+        try:
+            yield event
+        finally:
+            event["dur"] = (time.perf_counter() - t0) * 1e6
+            with self._lock:
+                self.events.append(event)
+
+    def instant(self, name, cat="mark", **args):
+        """Record an instant event (a vertical line in the viewer)."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "p",
+            "ts": time.time() * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFF,
+        }
+        if args:
+            event["args"] = dict(args)
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    def counter(self, name, values, cat="counter"):
+        """Record a counter sample (``values``: name -> number)."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "C",
+            "ts": time.time() * 1e6,
+            "pid": os.getpid(),
+            "tid": 0,
+            "args": dict(values),
+        }
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    def add_events(self, events):
+        """Merge events recorded elsewhere (e.g. by a fork worker)."""
+        with self._lock:
+            self.events.extend(dict(e) for e in events)
+
+    # -- aggregation -------------------------------------------------------
+
+    def phase_seconds(self):
+        """Total seconds per phase name, over all merged events."""
+        out = {}
+        for event in self.events:
+            if event.get("ph") != "X":
+                continue
+            out[event["name"]] = (
+                out.get(event["name"], 0.0) + event.get("dur", 0.0) / 1e6
+            )
+        return out
+
+    def pids(self):
+        """Distinct process ids that contributed events."""
+        return sorted({e.get("pid") for e in self.events
+                       if e.get("pid") is not None})
+
+    def summary(self, title="profile"):
+        """A per-phase wall-time table, slowest first."""
+        totals = self.phase_seconds()
+        counts = {}
+        for event in self.events:
+            if event.get("ph") == "X":
+                counts[event["name"]] = counts.get(event["name"], 0) + 1
+        lines = ["%s: %d event(s) from %d process(es)"
+                 % (title, len(self.events), len(self.pids()))]
+        for name in sorted(totals, key=totals.get, reverse=True):
+            lines.append("  %-28s %10.3f ms  x%d"
+                         % (name, totals[name] * 1e3, counts[name]))
+        return "\n".join(lines)
+
+    # -- export ------------------------------------------------------------
+
+    def chrome(self):
+        """The Chrome trace-event JSON object (a dict)."""
+        with self._lock:
+            events = sorted(self.events,
+                            key=lambda e: e.get("ts", 0.0))
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"tool": "repro.diag.trace"},
+        }
+
+    def to_json(self):
+        return json.dumps(self.chrome(), sort_keys=True)
+
+    def write(self, path):
+        """Write the Chrome trace JSON to ``path`` (atomic rename)."""
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w") as f:
+            f.write(self.to_json())
+        os.replace(tmp, path)
+        return path
+
+
+def merge_traces(*event_lists):
+    """One timestamp-sorted event list out of several."""
+    merged = []
+    for events in event_lists:
+        merged.extend(events)
+    merged.sort(key=lambda e: e.get("ts", 0.0))
+    return merged
+
+
+def load_trace(path):
+    """Read a Chrome trace file back to its event list."""
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, dict):
+        return data.get("traceEvents", [])
+    return list(data)

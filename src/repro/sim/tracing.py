@@ -71,8 +71,7 @@ class Tracer:
             codes[sig] = code
             width = (len(sig.value)
                      if isinstance(sig.value, VArray) else 32)
-            safe = sig.name.replace(" ", "_").lstrip(":").replace(
-                ":", ".")
+            safe = _vcd_ref(sig.name)
             out.append("$var wire %d %s %s $end" % (width, code, safe))
         out.append("$upscope $end")
         out.append("$enddefinitions $end")
@@ -89,6 +88,35 @@ class Tracer:
                 last_t = t
             out.append(_vcd_value(v, codes[sig]))
         return "\n".join(out) + "\n"
+
+
+def _vcd_ref(name):
+    """Sanitize a signal name into a legal VCD reference.
+
+    VCD reference names must be printable ASCII without whitespace.
+    VHDL extended identifiers (``\\bus a\\``) may contain spaces,
+    backslashes, and — via Latin-1 — non-ASCII characters, none of
+    which survive a ``$var`` declaration; wave viewers choke on them.
+    The hierarchy prefix ``:`` becomes ``.``, extended-identifier
+    backslash delimiters are stripped, whitespace becomes ``_``, and
+    any remaining character outside printable ASCII is hex-escaped so
+    distinct names stay distinct.
+    """
+    segments = []
+    for segment in name.lstrip(":").split(":"):
+        if (len(segment) >= 2 and segment.startswith("\\")
+                and segment.endswith("\\")):
+            segment = segment[1:-1]  # extended-identifier delimiters
+        out = []
+        for ch in segment:
+            if ch.isspace() or ch == "\\":
+                out.append("_")
+            elif "!" <= ch <= "~":
+                out.append(ch)
+            else:
+                out.append("x%02X" % ord(ch))
+        segments.append("".join(out))
+    return ".".join(segments) or "unnamed"
 
 
 def _vcd_code(i):

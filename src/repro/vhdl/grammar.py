@@ -105,7 +105,7 @@ def _declare_vocabulary(g):
     g.nonterminal("decls", ("RES", SYN), "DECLA", "RESULT")
     g.nonterminal("decl", ("RES", SYN), "DECLA", "RESULT")
     g.nonterminal("idlist", ("IDS", SYN))
-    g.nonterminal("mark", ("PARTS", SYN))
+    g.nonterminal("mark", ("PARTS", SYN), ("LINE", SYN))
     g.nonterminal("sub_ind", ("SUB", SYN), "CTXA")
     g.nonterminal("constraint_opt", ("CONSTR", SYN), "CTXA")
     g.nonterminal("init_opt", ("OPT", SYN), "CTXA")
@@ -308,22 +308,25 @@ def _decl_productions(g):
 
     p = g.production("mark_id", "mark -> ID")
     p.rule("mark.PARTS", "ID.value", fn=lambda n: (n,))
+    p.rule("mark.LINE", "ID.line", fn=lambda l: l)
     p = g.production("mark_sel", "mark -> mark0 DOT ID")
     p.rule("mark0.PARTS", "mark1.PARTS", "ID.value",
            fn=lambda ps, n: ps + (n,))
+    p.rule("mark0.LINE", "mark1.LINE", fn=lambda l: l)
 
     # subtype indication: [resolution] mark [constraint]
     p = g.production("sub_plain", "sub_ind -> mark constraint_opt")
     p.rule("sub_ind.SUB", "mark.PARTS", "constraint_opt.CONSTR",
-           "sub_ind.ENV", "sub_ind.CC",
-           fn=lambda parts, constr, env, cc: _sub_ind(
-               parts, None, constr, env, cc))
+           "sub_ind.ENV", "sub_ind.CC", "mark.LINE",
+           fn=lambda parts, constr, env, cc, line: _sub_ind(
+               parts, None, constr, env, cc, line))
     p = g.production("sub_resolved",
                      "sub_ind -> mark0 mark1 constraint_opt")
     p.rule("sub_ind.SUB", "mark0.PARTS", "mark1.PARTS",
            "constraint_opt.CONSTR", "sub_ind.ENV", "sub_ind.CC",
-           fn=lambda res_parts, parts, constr, env, cc: _sub_ind(
-               parts, res_parts, constr, env, cc))
+           "mark1.LINE",
+           fn=lambda res_parts, parts, constr, env, cc, line: _sub_ind(
+               parts, res_parts, constr, env, cc, line))
 
     p = g.production("constr_none", "constraint_opt ->")
     p.const("constraint_opt.CONSTR", None)
@@ -598,8 +601,7 @@ def _decl_productions(g):
         p.const("mode_opt.KW", "in" if m == "buffer" else m)
 
 
-def _sub_ind(parts, res_parts, constr, env, cc):
-    line = 0
+def _sub_ind(parts, res_parts, constr, env, cc, line=0):
     entries, msgs = D.resolve_mark(list(parts), env, cc, line)
     res_entries = []
     if res_parts is not None:

@@ -1,0 +1,208 @@
+"""Diagnostic records, spans, and the collecting engine."""
+
+import pytest
+
+from repro.ag.errors import CircularityError, LexError, ParseError
+from repro.diag import (
+    CODE_CIRC,
+    CODE_LEX,
+    CODE_PARSE,
+    CODE_SEM,
+    Diagnostic,
+    DiagnosticEngine,
+    ERROR,
+    SourceSpan,
+    WARNING,
+    parse_legacy_message,
+)
+
+
+class TestSourceSpan:
+    def test_str_full(self):
+        span = SourceSpan("a.vhd", 3, 14)
+        assert str(span) == "a.vhd:3:14"
+
+    def test_str_line_only(self):
+        assert str(SourceSpan("a.vhd", 7)) == "a.vhd:7"
+
+    def test_dict_roundtrip(self):
+        span = SourceSpan("a.vhd", 3, 14, 3, 20)
+        assert SourceSpan.from_dict(span.to_dict()) == span
+
+    def test_dict_omits_none(self):
+        assert SourceSpan("a.vhd", 2).to_dict() == {
+            "file": "a.vhd", "line": 2}
+
+    def test_from_token(self):
+        class Tok:
+            text = "entity"
+            line = 4
+            column = 3
+
+        span = SourceSpan.from_token(Tok(), file="x.vhd")
+        assert (span.line, span.column, span.end_column) == (4, 3, 9)
+
+    def test_sort_key(self):
+        spans = [SourceSpan("b", 1, 1), SourceSpan("a", 9, 9),
+                 SourceSpan("a", 2, 5), SourceSpan("a", 2, 1)]
+        ordered = sorted(spans, key=SourceSpan.sort_key)
+        assert [str(s) for s in ordered] == [
+            "a:2:1", "a:2:5", "a:9:9", "b:1:1"]
+
+
+class TestDiagnostic:
+    def test_str(self):
+        d = Diagnostic(CODE_SEM, ERROR, "boom",
+                       span=SourceSpan("f.vhd", 2, 7))
+        assert str(d) == "f.vhd:2:7: error[SEM001]: boom"
+
+    def test_dict_roundtrip(self):
+        d = Diagnostic(CODE_SEM, WARNING, "careful",
+                       span=SourceSpan("f.vhd", 2, 7),
+                       notes=["a note"],
+                       related=[("declared here",
+                                 SourceSpan("g.vhd", 1, 1))])
+        d2 = Diagnostic.from_dict(d.to_dict())
+        assert d2.code == d.code
+        assert d2.severity == d.severity
+        assert d2.span == d.span
+        assert d2.notes == ["a note"]
+        assert d2.related[0][0] == "declared here"
+        assert d2.related[0][1] == SourceSpan("g.vhd", 1, 1)
+
+
+class TestLegacyParsing:
+    def test_line_message(self):
+        d = parse_legacy_message("line 12: no such signal", file="a.vhd")
+        assert d.span.line == 12
+        assert d.span.file == "a.vhd"
+        assert d.message == "no such signal"
+        assert d.code == CODE_SEM
+
+    def test_line_column_message(self):
+        d = parse_legacy_message("line 3:9: bad")
+        assert (d.span.line, d.span.column) == (3, 9)
+
+    def test_unanchored_message(self):
+        d = parse_legacy_message("something odd", file="a.vhd")
+        assert d.span.line is None
+        assert d.message == "something odd"
+
+    def test_internal_classified(self):
+        d = parse_legacy_message("internal: the worst happened")
+        assert d.code == "INT001"
+
+
+class TestEngine:
+    def test_collects_instead_of_raising(self):
+        eng = DiagnosticEngine(file="a.vhd")
+        eng.error(CODE_SEM, "first")
+        eng.error(CODE_SEM, "second")
+        assert len(eng) == 2
+        assert eng.error_count == 2
+        assert eng.has_errors
+
+    def test_default_file_applied(self):
+        eng = DiagnosticEngine(file="a.vhd")
+        d = eng.error(CODE_SEM, "x", span=SourceSpan(line=4, column=2))
+        assert d.span.file == "a.vhd"
+
+    def test_werror_promotes(self):
+        eng = DiagnosticEngine(werror=True)
+        d = eng.warning(CODE_SEM, "iffy")
+        assert d.severity == ERROR
+        assert "[-Werror]" in d.message
+        assert eng.error_count == 1
+
+    def test_no_werror_keeps_warning(self):
+        eng = DiagnosticEngine()
+        eng.warning(CODE_SEM, "iffy")
+        assert eng.warning_count == 1
+        assert not eng.has_errors
+
+    def test_max_errors_caps(self):
+        eng = DiagnosticEngine(max_errors=2)
+        for i in range(5):
+            eng.error(CODE_SEM, "e%d" % i)
+        assert len(eng) == 2
+        assert eng.suppressed == 3
+        assert "suppressed" in eng.summary()
+
+    def test_add_messages_adapts_legacy(self):
+        eng = DiagnosticEngine(file="a.vhd")
+        eng.add_messages(["line 2: one", "line 5: two"])
+        assert [d.span.line for d in eng] == [2, 5]
+
+    def test_sorted_is_stable_by_span(self):
+        eng = DiagnosticEngine()
+        eng.error(CODE_SEM, "later", span=SourceSpan("a", 9, 1))
+        eng.error(CODE_SEM, "earlier", span=SourceSpan("a", 2, 1))
+        assert [d.message for d in eng.sorted()] == [
+            "earlier", "later"]
+
+    def test_summary(self):
+        eng = DiagnosticEngine()
+        eng.error(CODE_SEM, "x")
+        eng.warning(CODE_SEM, "y")
+        assert eng.summary() == "1 error(s), 1 warning(s)"
+        assert DiagnosticEngine().summary() == "no diagnostics"
+
+
+class TestExceptionAdapters:
+    def test_parse_error_span(self):
+        eng = DiagnosticEngine()
+        exc = ParseError("unexpected SEMI", line=4, column=9,
+                         file="b.vhd")
+        d = eng.add_exception(exc)
+        assert d.code == CODE_PARSE
+        assert (d.span.file, d.span.line, d.span.column) == \
+            ("b.vhd", 4, 9)
+        assert d.message == "unexpected SEMI"  # unprefixed raw text
+
+    def test_lex_error_span(self):
+        eng = DiagnosticEngine()
+        d = eng.add_exception(
+            LexError("cannot scan '$'", line=2, column=3, file="c.vhd"))
+        assert d.code == CODE_LEX
+        assert d.span.line == 2
+
+    def test_circularity_notes(self):
+        eng = DiagnosticEngine(file="d.vhd")
+        exc = CircularityError("circular", cycle=[])
+        d = eng.add_exception(exc)
+        assert d.code == CODE_CIRC
+
+    def test_plain_exception(self):
+        eng = DiagnosticEngine()
+        d = eng.add_exception(ValueError("whoops"))
+        assert d.code == "INT001"
+        assert "whoops" in d.message
+
+
+class TestParseErrorFormatting:
+    def test_message_includes_file_line_column(self):
+        exc = ParseError("bad", line=3, column=7, file="x.vhd")
+        assert str(exc) == "x.vhd:3:7: bad"
+
+    def test_message_without_file_keeps_legacy_shape(self):
+        assert str(ParseError("bad", line=3)) == "line 3: bad"
+
+    def test_lexer_reports_file(self):
+        from repro.vhdl.lexer import scan
+
+        with pytest.raises(LexError) as info:
+            scan("entity e is\n $", "weird.vhd")
+        assert info.value.file == "weird.vhd"
+        assert info.value.line == 2
+
+    def test_parser_reports_file(self):
+        from repro.vhdl.grammar import principal_grammar
+        from repro.vhdl.lexer import scan
+
+        grammar = principal_grammar()
+        with pytest.raises(ParseError) as info:
+            grammar.parse(scan("entity e is end e\nentity", "f.vhd"),
+                          "f.vhd")
+        assert info.value.file == "f.vhd"
+        assert info.value.line == 2
+        assert info.value.column is not None

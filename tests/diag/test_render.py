@@ -1,0 +1,160 @@
+"""Golden tests for the diagnostic renderers (text, JSON lines, SARIF)."""
+
+import json
+
+import pytest
+
+from repro.diag import (
+    CODE_PARSE,
+    CODE_SEM,
+    Diagnostic,
+    ERROR,
+    NOTE,
+    SourceSpan,
+    WARNING,
+    render,
+    render_jsonl,
+    render_sarif,
+    render_text,
+    sarif_run,
+)
+
+SOURCE = """entity e is end e;
+architecture a of e is
+  signal s : no_such_type;
+begin
+end a;
+"""
+
+
+def sem_diag():
+    return Diagnostic(
+        CODE_SEM, ERROR, "'no_such_type' is not visible",
+        span=SourceSpan("a.vhd", 3, 14, end_column=26),
+        notes=["types must be declared before use"],
+        related=[("architecture begins here",
+                  SourceSpan("a.vhd", 2, 1))],
+    )
+
+
+class TestText:
+    def test_caret_golden(self):
+        text = render_text([sem_diag()], sources={"a.vhd": SOURCE})
+        assert text == "\n".join([
+            "a.vhd:3:14: error[SEM001]: 'no_such_type' is not visible",
+            "    3 |   signal s : no_such_type;",
+            "      |              ^^^^^^^^^^^^",
+            "      note: types must be declared before use",
+            "      related: a.vhd:2:1: architecture begins here",
+        ])
+
+    def test_caret_defaults_to_width_one(self):
+        d = Diagnostic(CODE_SEM, ERROR, "x",
+                       span=SourceSpan("a.vhd", 2, 1))
+        text = render_text([d], sources={"a.vhd": SOURCE})
+        lines = text.splitlines()
+        assert lines[2].endswith("| ^")
+
+    def test_missing_file_gives_header_only(self):
+        d = Diagnostic(CODE_SEM, ERROR, "x",
+                       span=SourceSpan("nonexistent.vhd", 2, 1))
+        text = render_text([d])
+        assert text == "nonexistent.vhd:2:1: error[SEM001]: x"
+
+    def test_reads_from_disk(self, tmp_path):
+        path = tmp_path / "d.vhd"
+        path.write_text("line one\nline two\n")
+        d = Diagnostic(CODE_SEM, ERROR, "x",
+                       span=SourceSpan(str(path), 2, 6))
+        text = render_text([d])
+        assert "| line two" in text
+
+    def test_spanless_diagnostic(self):
+        d = Diagnostic(CODE_SEM, WARNING, "general gripe")
+        assert render_text([d]) == "warning[SEM001]: general gripe"
+
+
+class TestJsonLines:
+    def test_one_object_per_line(self):
+        d1 = sem_diag()
+        d2 = Diagnostic(CODE_PARSE, ERROR, "bad",
+                        span=SourceSpan("b.vhd", 1, 1))
+        out = render_jsonl([d1, d2])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        objs = [json.loads(line) for line in lines]
+        assert objs[0]["code"] == CODE_SEM
+        assert objs[1]["span"]["file"] == "b.vhd"
+
+    def test_roundtrips(self):
+        obj = json.loads(render_jsonl([sem_diag()]))
+        assert Diagnostic.from_dict(obj).span == sem_diag().span
+
+
+class TestSarif:
+    def run_of(self, diags):
+        return sarif_run(diags)
+
+    def test_top_level_shape(self):
+        log = self.run_of([sem_diag()])
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro"
+        assert "version" in driver
+        assert driver["rules"][0]["id"] == CODE_SEM
+        assert "shortDescription" in driver["rules"][0]
+
+    def test_result_location(self):
+        result = self.run_of([sem_diag()])["runs"][0]["results"][0]
+        assert result["ruleId"] == CODE_SEM
+        assert result["ruleIndex"] == 0
+        assert result["level"] == "error"
+        assert result["message"]["text"].startswith("'no_such_type'")
+        phys = result["locations"][0]["physicalLocation"]
+        assert phys["artifactLocation"]["uri"] == "a.vhd"
+        assert phys["region"]["startLine"] == 3
+        assert phys["region"]["startColumn"] == 14
+        assert phys["region"]["endColumn"] == 26
+
+    def test_related_and_notes(self):
+        result = self.run_of([sem_diag()])["runs"][0]["results"][0]
+        rel = result["relatedLocations"][0]
+        assert rel["message"]["text"] == "architecture begins here"
+        assert result["properties"]["notes"] == [
+            "types must be declared before use"]
+
+    def test_rules_deduplicated(self):
+        diags = [sem_diag(), sem_diag(),
+                 Diagnostic(CODE_PARSE, ERROR, "bad")]
+        run = self.run_of(diags)["runs"][0]
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+            CODE_SEM, CODE_PARSE]
+        assert [r["ruleIndex"] for r in run["results"]] == [0, 0, 1]
+
+    def test_severity_levels(self):
+        diags = [Diagnostic(CODE_SEM, NOTE, "n"),
+                 Diagnostic(CODE_SEM, WARNING, "w")]
+        results = self.run_of(diags)["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["note", "warning"]
+
+    def test_render_sarif_is_json(self):
+        parsed = json.loads(render_sarif([sem_diag()]))
+        assert parsed["version"] == "2.1.0"
+
+
+class TestDispatch:
+    def test_text(self):
+        assert "error[SEM001]" in render([sem_diag()], "text")
+
+    def test_json(self):
+        assert json.loads(render([sem_diag()], "json"))["code"] == \
+            CODE_SEM
+
+    def test_sarif(self):
+        assert json.loads(render([sem_diag()], "sarif"))["runs"]
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            render([], "xml")

@@ -101,6 +101,44 @@ class TestVCD:
         codes = {_vcd_code(i) for i in range(500)}
         assert len(codes) == 500
 
+    def test_extended_identifier_sanitized(self):
+        """Regression: VHDL extended identifiers (``\\bus a\\``) and
+        non-ASCII names used to leak spaces/backslashes/raw bytes into
+        the ``$var`` reference, producing illegal VCD."""
+        k = Kernel()
+        s = k.signal(":top:\\bus a\\", 0)
+        t = k.signal(":top:tempµ", 1)  # micro sign, non-ASCII
+        rt = k.rt
+
+        def proc():
+            rt.assign(s, ((1, NS),))
+            yield rt.wait([], None, None)
+
+        k.process("p", proc)
+        tracer = Tracer(k, [s, t])
+        k.run()
+        vcd = tracer.vcd()
+        var_lines = [l for l in vcd.splitlines()
+                     if l.startswith("$var")]
+        assert len(var_lines) == 2
+        for line in var_lines:
+            # "$var wire <w> <code> <ref> $end" — exactly 6 fields:
+            # a space inside the reference would add more.
+            assert len(line.split(" ")) == 6
+            assert "\\" not in line
+            assert all(33 <= ord(c) <= 126 or c == " " for c in line)
+        assert "$var wire 32 ! top.bus_a $end" in vcd
+        assert "$var wire 32 \" top.tempxB5 $end" in vcd
+
+    def test_sanitizer_rules(self):
+        from repro.sim.tracing import _vcd_ref
+
+        assert _vcd_ref("s") == "s"
+        assert _vcd_ref(":a:b") == "a.b"
+        assert _vcd_ref("\\x y\\") == "x_y"
+        assert _vcd_ref("") == "unnamed"
+        assert _vcd_ref("café") == "cafxE9"
+
 
 class TestFormatting:
     def test_format_fs(self):
