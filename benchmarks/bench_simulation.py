@@ -117,3 +117,45 @@ def test_delta_cycle_cost(benchmark):
     k = benchmark(deep_chain)
     assert k.signals[-1].value == 1
     assert k.now == 0  # everything happened in delta cycles
+
+
+def test_metrics_overhead(benchmark):
+    """Telemetry cost: the same window with a live MetricsRegistry vs
+    the null registry.  The disabled path must be effectively free
+    (it is the default for every kernel) and the enabled path cheap
+    enough to leave on in CI — design target <= 5%, asserted loosely
+    so a noisy host cannot flake the suite."""
+    import time
+
+    from repro.metrics import NULL_REGISTRY, MetricsRegistry
+    from repro.sim import Kernel
+
+    library = build()
+
+    def window(metrics):
+        kernel = Kernel(metrics=metrics)
+        sim = Elaborator(library, kernel=kernel).elaborate("pipeline")
+        sim.run(until_fs=2000 * NS)
+        return kernel
+
+    def best_of(metrics_fn, repeats=5):
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            window(metrics_fn())
+            dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+        return best
+
+    benchmark(window, NULL_REGISTRY)
+    off = best_of(lambda: NULL_REGISTRY)
+    on = best_of(MetricsRegistry)
+    overhead = on / off - 1.0
+    print()
+    print("=== metrics overhead (enabled vs null registry) ===")
+    print("  disabled %.4fs   enabled %.4fs   overhead %+.1f%%"
+          % (off, on, overhead * 100))
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 1)
+    # Design target is <=5%; assert with generous slack for CI noise.
+    assert overhead < 0.30, "metrics overhead %.1f%%" % (overhead * 100)

@@ -1,0 +1,83 @@
+"""Shared benchmark plumbing: common ``BENCH_<name>.json`` emission.
+
+Every ``bench_*.py`` module in this directory reports through
+pytest-benchmark; this conftest harvests each test's timing stats and
+``extra_info`` values after it runs and, at session end, writes one
+``BENCH_<name>.json`` per module in the shared ``repro-metrics/1``
+envelope (the same schema ``repro sim --metrics-out`` and ``repro
+bench-check`` speak).  CI uploads the files as artifacts so any run's
+numbers can be diffed offline with::
+
+    python -m repro bench-check --baseline benchmarks/BENCH_simulation.json \\
+        --current bench-out/BENCH_simulation.json
+
+Output lands in ``$REPRO_BENCH_DIR`` (default ``bench-out/``, which is
+git-ignored).  The *committed* ``benchmarks/BENCH_*.json`` baselines
+are different animals: they are written by ``repro bench-check
+--update`` from the deterministic scenarios in
+``repro.metrics.benchcheck`` and act as the regression gate.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.metrics import envelope
+
+#: module stem (without ``bench_``) -> {test name -> record}
+_RESULTS = {}
+
+
+def _module_name(node):
+    path = getattr(node, "path", None) or getattr(node, "fspath", "")
+    stem = os.path.splitext(os.path.basename(str(path)))[0]
+    if stem.startswith("bench_"):
+        stem = stem[len("bench_"):]
+    return stem
+
+
+@pytest.fixture(autouse=True)
+def _collect_benchmark(request):
+    """After each test, harvest its pytest-benchmark results."""
+    yield
+    fixture = request.node.funcargs.get("benchmark")
+    if fixture is None or getattr(fixture, "stats", None) is None:
+        return  # test did not actually run a benchmark
+    stats = fixture.stats.stats
+    record = {
+        "timings": {
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "max_s": stats.max,
+            "stddev_s": getattr(stats, "stddev", 0.0),
+            "rounds": getattr(stats, "rounds", len(stats.data)),
+        },
+        "values": dict(fixture.extra_info),
+    }
+    name = _module_name(request.node)
+    _RESULTS.setdefault(name, {})[request.node.name] = record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    out_dir = os.environ.get("REPRO_BENCH_DIR", "bench-out")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, tests in sorted(_RESULTS.items()):
+        payload = envelope("bench-suite", bench=name, tests=tests)
+        path = os.path.join(out_dir, "BENCH_%s.json" % name)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w") as f:
+            json.dump(payload, f, indent=1, sort_keys=True,
+                      default=str)
+            f.write("\n")
+        os.replace(tmp, path)
+    tw = getattr(session.config, "get_terminal_writer", lambda: None)()
+    msg = "bench results: %s" % ", ".join(
+        os.path.join(out_dir, "BENCH_%s.json" % n)
+        for n in sorted(_RESULTS))
+    if tw is not None:
+        tw.line(msg)
+    else:
+        print(msg)

@@ -22,7 +22,9 @@ instead of silently mis-hitting.
 import hashlib
 import json
 
-FINGERPRINT_VERSION = "bfp-1"
+# bfp-2: generated models now pass sensitivity lists to
+# ctx.process(); bumping invalidates cached payloads built before.
+FINGERPRINT_VERSION = "bfp-2"
 
 #: Payload node fields that do not affect a unit's *interface* as seen
 #: by dependents: generated back-end text and source coordinates.

@@ -10,7 +10,10 @@ interface" (§2).  This is the script-driven one::
     python -m repro dump work rtl(counter) --root ./libs
     python -m repro simulate testbench --root ./libs --until 200ns \
         --trace clk --trace q
+    python -m repro sim design.vhd --metrics-out m.json --top 5
     python -m repro stats --json
+    python -m repro bench-check --baseline BENCH_simulation.json \
+        --tolerance 0.15
 
 Compile places successfully compiled units into the working library
 (``--work``, default ``work``) under ``--root``; reference libraries
@@ -22,10 +25,19 @@ Observability flags (shared by ``compile`` and ``build``):
 writes a Chrome trace-event JSON (one merged timeline, one row per
 build worker), ``-Werror`` promotes warnings to errors, and
 ``--explain-cycle`` pretty-prints attribute-dependency cycles.
+
+Metrics flags (shared by ``compile``, ``build``, and ``simulate``):
+``--metrics`` prints the registry summary, ``--metrics-out FILE``
+writes the ``repro-metrics/1`` snapshot (``--metrics-format
+prometheus`` switches to text exposition format).  ``simulate`` (alias
+``sim``) additionally accepts a ``.vhd`` file instead of a unit name —
+it compiles the file first so one snapshot covers compile → elaborate
+→ simulate — and ``--top N`` prints the hot-process table.
 """
 
 import argparse
 import json
+import os
 import sys
 
 from .sim import TIME_UNITS
@@ -67,15 +79,28 @@ def _make_parser():
     parser.add_argument("--explain-cycle", action="store_true",
                         help="pretty-print attribute dependency "
                              "cycles with production context")
+    metrics_args = argparse.ArgumentParser(add_help=False)
+    metrics_args.add_argument(
+        "--metrics", action="store_true",
+        help="collect a metrics registry and print its summary")
+    metrics_args.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the repro-metrics/1 snapshot "
+             "(implies metrics collection)")
+    metrics_args.add_argument(
+        "--metrics-format", default="json",
+        choices=("json", "prometheus"),
+        help="snapshot encoding for --metrics-out")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compile", help="compile VHDL source files")
+    p = sub.add_parser("compile", parents=[metrics_args],
+                       help="compile VHDL source files")
     p.add_argument("files", nargs="+")
     p.add_argument("--keep-going", action="store_true",
                    help="report diagnostics without failing")
 
     p = sub.add_parser(
-        "build",
+        "build", parents=[metrics_args],
         help="incremental parallel build (skips unchanged files)")
     p.add_argument("files", nargs="+")
     p.add_argument("--jobs", "-j", type=int, default=1,
@@ -91,8 +116,11 @@ def _make_parser():
 
     p = sub.add_parser("list", help="list units in the library")
 
-    p = sub.add_parser("simulate", help="elaborate and run a design")
-    p.add_argument("top", help="entity or configuration name")
+    p = sub.add_parser("simulate", aliases=["sim"],
+                       parents=[metrics_args],
+                       help="elaborate and run a design")
+    p.add_argument("top", help="entity or configuration name, or a "
+                               ".vhd file to compile first")
     p.add_argument("--arch", default=None)
     p.add_argument("--until", default="1us",
                    help="simulation time, e.g. 200ns")
@@ -100,11 +128,33 @@ def _make_parser():
                    help="signal suffix to trace (repeatable)")
     p.add_argument("--vcd", default=None,
                    help="write a VCD file of the traced signals")
+    p.add_argument("--top", dest="top_n", type=int, default=None,
+                   metavar="N",
+                   help="print the N hottest processes (resumes, "
+                        "wall clock, sensitivity)")
 
     p = sub.add_parser("stats", help="print the AG-statistics table")
     p.add_argument("--json", dest="as_json", action="store_true",
-                   help="emit the §4.1 table as JSON (CI trend "
+                   help="emit the §4.1 table as JSON in the "
+                        "repro-metrics/1 envelope (CI trend "
                         "tracking)")
+
+    p = sub.add_parser(
+        "bench-check",
+        help="perf-regression gate: compare a fresh benchmark run "
+             "against a committed BENCH_*.json baseline")
+    p.add_argument("--baseline", required=True, action="append",
+                   metavar="FILE",
+                   help="committed baseline (repeatable)")
+    p.add_argument("--tolerance", type=float, default=0.15,
+                   help="relative tolerance for max/min/ratio "
+                        "checks (default 0.15)")
+    p.add_argument("--current", default=None, metavar="FILE",
+                   help="compare against this bench JSON instead of "
+                        "re-running the scenario")
+    p.add_argument("--update", action="store_true",
+                   help="rewrite the baseline from a fresh run "
+                        "instead of checking")
     return parser
 
 
@@ -113,6 +163,37 @@ def _library(args):
 
     return LibraryManager(root=args.root, work=args.work,
                           reference_libs=tuple(args.ref))
+
+
+def _wants_metrics(args):
+    return bool(getattr(args, "metrics", False)
+                or getattr(args, "metrics_out", None)
+                or getattr(args, "top_n", None) is not None)
+
+
+def _registry_for(args):
+    """A live registry when any metrics flag asks for one, else the
+    zero-overhead null registry."""
+    from .metrics import NULL_REGISTRY, MetricsRegistry
+
+    return MetricsRegistry() if _wants_metrics(args) else NULL_REGISTRY
+
+
+def _emit_metrics(registry, args, out, title="metrics"):
+    """Print/write the snapshot as the metrics flags request."""
+    if args.metrics:
+        out(registry.summary(title))
+    if args.metrics_out:
+        if args.metrics_format == "prometheus":
+            text = registry.render_prometheus()
+        else:
+            text = json.dumps(registry.snapshot(), indent=1,
+                              sort_keys=True) + "\n"
+        tmp = "%s.tmp.%d" % (args.metrics_out, os.getpid())
+        with open(tmp, "w") as f:
+            f.write(text)
+        os.replace(tmp, args.metrics_out)
+        out("metrics snapshot written to %s" % args.metrics_out)
 
 
 def _emit_trace(tracer, args, out, default_path=None):
@@ -166,6 +247,13 @@ def cmd_compile(args, out):
         out(compiler.observer.summary())
     _emit_trace(compiler.tracer, args, out,
                 default_path="repro-compile-trace.json")
+    if _wants_metrics(args):
+        from .metrics.bridge import bridge_observer, bridge_tracer
+
+        registry = _registry_for(args)
+        bridge_observer(registry, compiler.observer)
+        bridge_tracer(registry, compiler.tracer, prefix="compile")
+        _emit_metrics(registry, args, out, "compile metrics")
     if args.werror and any(
             "[-Werror]" in d.message for d in all_diags):
         failures = failures or 1
@@ -213,11 +301,15 @@ def cmd_build(args, out):
         if firings:
             out("AG evaluation: %d rule firing(s) across workers"
                 % firings)
-    import os
-
     _emit_trace(tracer, args, out,
                 default_path=os.path.join(args.root,
                                           "build-trace.json"))
+    if _wants_metrics(args):
+        from .metrics.bridge import bridge_build_report
+
+        registry = _registry_for(args)
+        bridge_build_report(registry, report)
+        _emit_metrics(registry, args, out, "build metrics")
     return 0 if report.ok else 1
 
 
@@ -235,11 +327,46 @@ def cmd_list(args, out):
 
 
 def cmd_simulate(args, out):
+    from .sim import Kernel
     from .sim.tracing import Tracer, format_fs
     from .vhdl.elaborate import Elaborator
 
-    elab = Elaborator(_library(args))
-    sim = elab.elaborate(args.top, arch_name=args.arch)
+    registry = _registry_for(args)
+    kernel = Kernel(metrics=registry)
+    top = args.top
+    compiler = None
+    if top.endswith((".vhd", ".vhdl")) or os.path.isfile(top):
+        # A source file: compile it first, then simulate its last
+        # entity — one metrics snapshot covers compile → elaborate →
+        # simulate.
+        from .vhdl.compiler import CompileError, Compiler
+        from .vhdl.symtab import entry_kind
+
+        compiler = Compiler(library=_library(args), work=args.work,
+                            strict=False, werror=args.werror)
+        try:
+            result = compiler.compile_file(top)
+        except CompileError as exc:
+            out("%s: %d error(s)" % (top, len(exc.messages)))
+            for message in exc.messages:
+                out("  %s" % message)
+            return 1
+        if not result.ok:
+            out("%s: %d error(s)" % (top, len(result.messages)))
+            for message in result.messages:
+                out("  %s" % message)
+            return 1
+        entities = [u.name for u in result.units
+                    if entry_kind(u) == "entity"]
+        if not entities:
+            out("%s: no entity to simulate" % top)
+            return 1
+        library = compiler.library
+        top = entities[-1]
+    else:
+        library = _library(args)
+    elab = Elaborator(library, kernel=kernel)
+    sim = elab.elaborate(top, arch_name=args.arch)
     tracer = None
     if args.trace or args.vcd:
         signals = []
@@ -258,6 +385,22 @@ def cmd_simulate(args, out):
         with open(args.vcd, "w") as f:
             f.write(tracer.vcd())
         out("VCD written to %s" % args.vcd)
+    if _wants_metrics(args):
+        from .metrics.bridge import (
+            bridge_kernel,
+            bridge_observer,
+            bridge_tracer,
+            format_hot_processes,
+        )
+
+        bridge_kernel(registry, kernel)
+        if compiler is not None:
+            bridge_observer(registry, compiler.observer)
+            bridge_tracer(registry, compiler.tracer,
+                          prefix="compile")
+        out(format_hot_processes(
+            kernel, args.top_n if args.top_n is not None else 5))
+        _emit_metrics(registry, args, out, "simulation metrics")
     return 0
 
 
@@ -271,11 +414,29 @@ def cmd_stats(args, out):
         expr_grammar().statistics(),
     ]
     if getattr(args, "as_json", False):
-        out(json.dumps({"grammars": [s.as_dict() for s in stats]},
-                       indent=2, sort_keys=True))
+        from .metrics import envelope
+
+        out(json.dumps(
+            envelope("ag-stats",
+                     grammars=[s.as_dict() for s in stats]),
+            indent=2, sort_keys=True))
         return 0
     out(format_table(stats))
     return 0
+
+
+def cmd_bench_check(args, out):
+    from .metrics.benchcheck import bench_check
+
+    if args.current is not None and len(args.baseline) > 1:
+        out("bench-check: --current works with a single --baseline")
+        return 2
+    rc = 0
+    for baseline in args.baseline:
+        rc = max(rc, bench_check(
+            baseline, tolerance=args.tolerance,
+            current_path=args.current, update=args.update, out=out))
+    return rc
 
 
 COMMANDS = {
@@ -284,7 +445,9 @@ COMMANDS = {
     "dump": cmd_dump,
     "list": cmd_list,
     "simulate": cmd_simulate,
+    "sim": cmd_simulate,
     "stats": cmd_stats,
+    "bench-check": cmd_bench_check,
 }
 
 

@@ -1,0 +1,47 @@
+"""repro.metrics — the unified metrics registry (PR 3).
+
+One dependency-free registry of counters, gauges, and histograms with
+labeled children; one ``repro-metrics/1`` JSON snapshot format shared
+by ``repro stats --json``, ``repro sim --metrics-out``, and the
+``BENCH_*.json`` benchmark schema; one Prometheus text-exposition
+renderer.  :mod:`repro.metrics.bridge` publishes the simulation
+kernel, AG observer, and incremental-build telemetry into the same
+registry; :mod:`repro.metrics.benchcheck` turns committed snapshots
+into a CI perf-regression gate (``repro bench-check``).
+
+Disabled-path guarantee: :data:`NULL_REGISTRY` hands out shared no-op
+metrics, so instrumented hot loops pay one empty method call when
+telemetry is off.
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    SECONDS_BUCKETS,
+    SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    envelope,
+    log125_buckets,
+)
+from .prometheus import render_prometheus
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "SCHEMA",
+    "SECONDS_BUCKETS",
+    "envelope",
+    "log125_buckets",
+    "render_prometheus",
+]

@@ -1,0 +1,403 @@
+"""``repro bench-check`` — the CI perf-regression gate.
+
+A *baseline* is a committed ``BENCH_<name>.json`` file in the shared
+``repro-metrics/1`` envelope: a ``values`` dict of named measurements
+plus a ``checks`` dict assigning each value a comparison mode.  The
+gate re-runs the named scenario fresh (or reads ``--current FILE``)
+and compares against the baseline:
+
+- ``exact``  — deterministic counters (simulation cycles, signal
+  events, AG evaluations): must match bit-for-bit; any drift means the
+  *semantics* changed, not just the speed.
+- ``max``    — cost-like values: current must not exceed
+  ``base * (1 + tolerance)``.
+- ``min``    — benefit-like values (speedups): current must be at
+  least ``base * (1 - tolerance)``.
+- ``ratio``  — must stay within ``tolerance`` relative either way.
+
+Wall-clock costs are *normalized*: every scenario first times a fixed
+pure-Python calibration loop on the same machine and reports
+``cost / calibration`` ratios, so a committed baseline transfers
+between hosts of different absolute speed — slowing the kernel still
+moves the ratio, which is exactly what the gate must catch.
+
+Baselines are refreshed with ``repro bench-check --baseline FILE
+--update`` (re-runs the scenario and rewrites the file); CI runs the
+gate with a generous tolerance so only genuine regressions fail.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from .registry import MetricsRegistry, envelope
+
+#: Iterations of the calibration loop (pure-Python integer work).
+CALIBRATION_N = 300_000
+
+#: Measurement repeats; the best (minimum) ratio is kept.
+REPEATS = 5
+
+
+def calibrate(n=CALIBRATION_N, repeats=3):
+    """Seconds for the fixed reference loop (best of ``repeats``)."""
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(n):
+            acc += i & 7
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return max(best, 1e-9)
+
+
+def normalized_cost(measure, repeats=REPEATS):
+    """``min over repeats of (measure() seconds / calibration
+    seconds)`` — the calibration loop runs inside the same time window
+    as each measurement, so host-load and frequency drift hit both and
+    mostly cancel out of the ratio."""
+    best = None
+    for _ in range(repeats):
+        calib = calibrate(repeats=1)
+        t0 = time.perf_counter()
+        result = measure()
+        dt = time.perf_counter() - t0
+        calib = min(calib, calibrate(repeats=1))
+        ratio = dt / calib
+        if best is None or ratio < best[0]:
+            best = (ratio, dt, calib, result)
+    return best
+
+
+# -- scenarios ---------------------------------------------------------------
+
+_SIM_SOURCE = """
+    entity stage is
+      port ( clk : in bit; din : in integer; dout : out integer );
+    end stage;
+    architecture rtl of stage is
+      signal hold : integer := 0;
+    begin
+      process (clk)
+      begin
+        if clk'event and clk = '1' then
+          hold <= (din + 1) mod 1000;
+        end if;
+      end process;
+      dout <= hold;
+    end rtl;
+
+    entity gate_top is end gate_top;
+    architecture top of gate_top is
+      component stage
+        port ( clk : in bit; din : in integer; dout : out integer );
+      end component;
+      signal clk : bit := '0';
+      signal d0 : integer := 0;
+      signal d1 : integer := 0;
+      signal d2 : integer := 0;
+    begin
+      clock : process
+      begin
+        clk <= not clk after 5 ns;
+        wait on clk;
+      end process;
+      s1 : stage port map ( clk => clk, din => d0, dout => d1 );
+      s2 : stage port map ( clk => clk, din => d1, dout => d2 );
+      feedback : d0 <= d2;
+    end top;
+"""
+
+_SIM_UNTIL_FS = 1000 * 10**6  # 1 us: 200 clock edges
+
+
+def scenario_simulation():
+    """Compile a small pipeline once, run the kernel, measure."""
+    from ..sim import Kernel
+    from ..vhdl.compiler import Compiler
+    from ..vhdl.elaborate import Elaborator
+
+    compiler = Compiler(strict=False)
+    result = compiler.compile(_SIM_SOURCE)
+    if not result.ok:
+        raise RuntimeError("bench-check design failed to compile: %s"
+                           % result.messages[:3])
+
+    def measure():
+        registry = MetricsRegistry()
+        kernel = Kernel(metrics=registry)
+        sim = Elaborator(compiler.library,
+                         kernel=kernel).elaborate("gate_top")
+        sim.run(until_fs=_SIM_UNTIL_FS)
+        return registry, kernel
+
+    ratio, best, calib, (registry, kernel) = normalized_cost(measure)
+    from .bridge import bridge_kernel
+
+    bridge_kernel(registry, kernel)
+    values = {
+        "cycles": kernel.cycles,
+        "delta_cycles": kernel.delta_cycles,
+        "signal_events": sum(s.events for s in kernel.signals),
+        "signal_transactions": sum(
+            s.transactions for s in kernel.signals),
+        "process_resumes": sum(p.resumes for p in kernel.processes),
+        "normalized_cost": round(ratio, 4),
+    }
+    checks = {
+        "cycles": "exact",
+        "delta_cycles": "exact",
+        "signal_events": "exact",
+        "signal_transactions": "exact",
+        "process_resumes": "exact",
+        "normalized_cost": "max",
+    }
+    timings = {"run_s": round(best, 6),
+               "calibration_s": round(calib, 6)}
+    return envelope("bench", bench="simulation", values=values,
+                    checks=checks, timings=timings,
+                    metrics=registry.snapshot()["metrics"])
+
+
+_INC_PKG = """
+    package pkg0 is
+      constant width : integer := 8;
+      function clamp(x : integer) return integer;
+    end pkg0;
+    package body pkg0 is
+      function clamp(x : integer) return integer is
+      begin
+        if x > 255 then return 255; end if;
+        return x;
+      end clamp;
+    end pkg0;
+"""
+
+_INC_UNIT = """
+    use work.pkg0.all;
+    entity unit%(i)d is end unit%(i)d;
+    architecture rtl of unit%(i)d is
+      signal acc : integer := 0;
+      signal tick : bit := '0';
+    begin
+      clock : process
+      begin
+        tick <= not tick after 10 ns;
+        wait on tick;
+      end process;
+      count : process (tick)
+      begin
+        acc <= clamp(acc + %(i)d + 1);
+      end process;
+    end rtl;
+"""
+
+
+def scenario_incremental():
+    """Cold vs warm incremental build of a small package+units
+    project; warm must do zero AG evaluations."""
+    from ..build import IncrementalBuilder
+    from ..vhdl.grammar import principal_grammar
+
+    principal_grammar()  # Linguist runs before compiling (paper §2)
+    base = tempfile.mkdtemp(prefix="repro-bench-check-")
+    try:
+        files = [os.path.join(base, "pkg0.vhd")]
+        with open(files[0], "w") as f:
+            f.write(_INC_PKG)
+        for i in range(2):
+            path = os.path.join(base, "unit%d.vhd" % i)
+            with open(path, "w") as f:
+                f.write(_INC_UNIT % {"i": i})
+            files.append(path)
+        root = os.path.join(base, "libs")
+
+        def build():
+            t0 = time.perf_counter()
+            report = IncrementalBuilder(root).build(files)
+            dt = time.perf_counter() - t0
+            if not report.ok:
+                raise RuntimeError("bench-check build failed:\n%s"
+                                   % report.summary())
+            return dt, report
+
+        def cold_build():
+            shutil.rmtree(root, ignore_errors=True)
+            return build()
+
+        cold_ratio, _, calib, (cold_s, cold) = normalized_cost(
+            cold_build)
+        warm_s, warm = build()
+        for _ in range(2):  # best-of-3 stabilizes the speedup ratio
+            warm_again_s, warm = build()
+            warm_s = min(warm_s, warm_again_s)
+        registry = MetricsRegistry()
+        from .bridge import bridge_build_report
+
+        bridge_build_report(registry, warm)
+        values = {
+            "files": len(files),
+            "cold_ag_evaluations": cold.stats.get(
+                "ag_evaluations", 0),
+            "warm_ag_evaluations": warm.stats.get(
+                "ag_evaluations", 0),
+            "warm_cache_hits": warm.stats.get("hits", 0),
+            "warm_speedup": round(cold_s / max(warm_s, 1e-9), 1),
+            "normalized_cold_cost": round(cold_ratio, 4),
+        }
+        checks = {
+            "files": "exact",
+            "cold_ag_evaluations": "exact",
+            "warm_ag_evaluations": "exact",
+            "warm_cache_hits": "exact",
+            "warm_speedup": "min",
+            "normalized_cold_cost": "max",
+        }
+        timings = {"cold_s": round(cold_s, 6),
+                   "warm_s": round(warm_s, 6),
+                   "calibration_s": round(calib, 6)}
+        return envelope("bench", bench="incremental", values=values,
+                        checks=checks, timings=timings,
+                        metrics=registry.snapshot()["metrics"])
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
+SCENARIOS = {
+    "simulation": scenario_simulation,
+    "incremental": scenario_incremental,
+}
+
+
+# -- comparison --------------------------------------------------------------
+
+
+class CheckFailure(Exception):
+    """A baseline could not be loaded or compared."""
+
+
+def _close(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        scale = max(abs(a), abs(b), 1e-12)
+        return abs(a - b) / scale <= 1e-9
+    return a == b
+
+
+def compare(baseline, current_values, tolerance=0.15):
+    """[(key, mode, base, current, ok, detail)] for every check."""
+    values = baseline.get("values", {})
+    checks = baseline.get("checks", {})
+    rows = []
+    for key in sorted(values):
+        mode = checks.get(key, "ratio")
+        base = values[key]
+        cur = current_values.get(key)
+        if cur is None:
+            rows.append((key, mode, base, None, False,
+                         "missing from current run"))
+            continue
+        if mode == "exact":
+            ok = _close(base, cur)
+            detail = "must equal baseline"
+        elif mode == "max":
+            limit = base * (1.0 + tolerance)
+            ok = cur <= limit
+            detail = "<= %.6g (base %.6g +%.0f%%)" % (
+                limit, base, tolerance * 100)
+        elif mode == "min":
+            limit = base * (1.0 - tolerance)
+            ok = cur >= limit
+            detail = ">= %.6g (base %.6g -%.0f%%)" % (
+                limit, base, tolerance * 100)
+        elif mode == "ratio":
+            scale = max(abs(base), 1e-12)
+            ok = abs(cur - base) / scale <= tolerance
+            detail = "within %.0f%% of %.6g" % (tolerance * 100, base)
+        else:
+            ok, detail = False, "unknown check mode %r" % mode
+        rows.append((key, mode, base, cur, ok, detail))
+    return rows
+
+
+def load_bench_json(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or "values" not in data:
+        raise CheckFailure(
+            "%s: not a repro-metrics bench file (no 'values')" % path)
+    return data
+
+
+def bench_check(baseline_path, tolerance=0.15, current_path=None,
+                update=False, out=print):
+    """Run one gate; returns a process exit code (0 = pass)."""
+    try:
+        baseline = load_bench_json(baseline_path)
+    except FileNotFoundError:
+        if not update:
+            out("bench-check: no baseline %s (run with --update to "
+                "create it)" % baseline_path)
+            return 2
+        name = _bench_name_from_path(baseline_path)
+        baseline = {"bench": name}
+    except CheckFailure as exc:
+        out("bench-check: %s" % exc)
+        return 2
+    name = baseline.get("bench") or _bench_name_from_path(
+        baseline_path)
+    if current_path is not None:
+        current = load_bench_json(current_path)
+        source = current_path
+    else:
+        scenario = SCENARIOS.get(name)
+        if scenario is None:
+            out("bench-check: no built-in scenario %r "
+                "(known: %s); pass --current FILE"
+                % (name, ", ".join(sorted(SCENARIOS))))
+            return 2
+        current = scenario()
+        source = "fresh %r run" % name
+    if update:
+        tmp = "%s.tmp.%d" % (baseline_path, os.getpid())
+        with open(tmp, "w") as f:
+            json.dump(current, f, indent=1, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, baseline_path)
+        out("bench-check: baseline %s updated from %s"
+            % (baseline_path, source))
+        return 0
+    rows = compare(baseline, current.get("values", {}), tolerance)
+    failures = 0
+    out("bench-check %s: baseline %s vs %s (tolerance %.0f%%)"
+        % (name, baseline_path, source, tolerance * 100))
+    for key, mode, base, cur, ok, detail in rows:
+        mark = "ok  " if ok else "FAIL"
+        out("  %s %-26s %-6s base=%-12s current=%-12s %s"
+            % (mark, key, mode, _fmt(base), _fmt(cur), detail))
+        if not ok:
+            failures += 1
+    if failures:
+        out("bench-check: %d regression(s) against %s"
+            % (failures, baseline_path))
+        return 1
+    out("bench-check: ok (%d check(s))" % len(rows))
+    return 0
+
+
+def _bench_name_from_path(path):
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    return stem.lower()
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)

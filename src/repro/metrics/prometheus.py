@@ -1,0 +1,79 @@
+"""Prometheus text exposition rendering of a metrics snapshot.
+
+Renders the ``repro-metrics/1`` snapshot produced by
+:meth:`repro.metrics.MetricsRegistry.snapshot` in the Prometheus
+text-based exposition format (version 0.0.4): ``# HELP`` / ``# TYPE``
+headers, one sample line per child, histograms expanded into
+cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+Dependency-free on purpose — a scrape endpoint or a file sink can use
+it without pulling in a client library.
+"""
+
+_NAME_OK = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _metric_name(name):
+    out = "".join(ch if ch in _NAME_OK else "_" for ch in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out or "_"
+
+
+def _label_value(value):
+    return str(value).replace("\\", r"\\").replace(
+        "\n", r"\n").replace('"', r'\"')
+
+
+def _labels_text(labels, extra=None):
+    items = []
+    for key, value in sorted((labels or {}).items()):
+        items.append('%s="%s"' % (_metric_name(key),
+                                  _label_value(value)))
+    if extra:
+        items.extend(extra)
+    return "{%s}" % ",".join(items) if items else ""
+
+
+def _num(value):
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(snapshot):
+    """The text exposition document for one snapshot dict."""
+    metrics = snapshot.get("metrics", {})
+    lines = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        pname = _metric_name(name)
+        kind = family.get("type", "untyped")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append("# HELP %s %s"
+                         % (pname, help_text.replace("\n", " ")))
+        lines.append("# TYPE %s %s" % (pname, kind))
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for bound, count in sample.get("buckets", ()):
+                    le = "+Inf" if bound == "+Inf" else _num(bound)
+                    lines.append("%s_bucket%s %s" % (
+                        pname,
+                        _labels_text(labels,
+                                     extra=['le="%s"' % le]),
+                        _num(count)))
+                lines.append("%s_sum%s %s"
+                             % (pname, _labels_text(labels),
+                                _num(sample.get("sum", 0))))
+                lines.append("%s_count%s %s"
+                             % (pname, _labels_text(labels),
+                                _num(sample.get("count", 0))))
+            else:
+                lines.append("%s%s %s"
+                             % (pname, _labels_text(labels),
+                                _num(sample.get("value", 0))))
+    return "\n".join(lines) + "\n"

@@ -13,20 +13,36 @@ kernel implements):
    which makes the next cycle a delta cycle.
 """
 
+import time as _time
+
+from ..metrics import NULL_REGISTRY
 from .process import Process, WaitRequest
 from .runtime import RuntimeError_, ops
 from .signals import Signal
 from .vhdlio import AssertionFailure, SeverityLogger
+
+#: Bucket bounds of the deltas-per-timestep histogram: an explicit
+#: zero bucket (timesteps with no delta at all), then log 1-2-5.
+DELTA_BUCKETS = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
 
 
 class SimulationError(Exception):
     """Kernel-level failure (unbounded delta loop, bad yield, ...)."""
 
 
+class _KernelOrigin:
+    """Report origin for kernel-internal notes (not a real process)."""
+
+    name = "<kernel>"
+
+
+_KERNEL_ORIGIN = _KernelOrigin()
+
+
 class Kernel:
     """An event-driven simulator instance."""
 
-    def __init__(self, max_deltas=10000, logger=None):
+    def __init__(self, max_deltas=10000, logger=None, metrics=None):
         self.now = 0
         self.step = 0  # simulation-cycle stamp, for 'EVENT / 'ACTIVE
         self.signals = []
@@ -37,7 +53,31 @@ class Kernel:
         self.rt = RT(self)
         self._initialized = False
         self.cycles = 0  # executed simulation cycles (bench metric)
+        self.delta_cycles = 0  # cycles that did not advance time
+        self.truncated_transactions = 0  # abandoned by run(until=...)
         self.tracers = []  # repro.sim.tracing.Tracer instances
+        # -- telemetry (repro.metrics). The registry defaults to the
+        # null registry: handles below become shared no-op metrics and
+        # the ``_timed`` flag turns off the perf_counter pairs, so the
+        # disabled path costs one empty method call per cycle.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._timed = bool(getattr(self.metrics, "enabled", False))
+        m = self.metrics
+        self._m_cycles = m.counter(
+            "sim_cycles_total", "executed simulation cycles")
+        self._m_deltas = m.counter(
+            "sim_delta_cycles_total",
+            "simulation cycles that did not advance time")
+        self._m_delta_hist = m.histogram(
+            "sim_deltas_per_timestep",
+            "delta cycles executed per distinct timestep",
+            buckets=DELTA_BUCKETS)
+        self._m_resumes = m.counter(
+            "sim_process_resumes_total", "process resumptions")
+        self._m_truncated = m.gauge(
+            "sim_truncated_transactions",
+            "projected transactions abandoned because run(until=...) "
+            "stopped before their time")
 
     # -- construction ------------------------------------------------------
 
@@ -51,10 +91,12 @@ class Kernel:
         """Register a process.
 
         ``generator_fn`` is a nullary callable returning the process
-        generator.  ``sensitivity`` is accepted for bookkeeping; the
-        generated code already ends its loop with the equivalent wait.
+        generator.  ``sensitivity`` — the statically known sensitivity
+        signals — is stored on the :class:`Process` so the metrics
+        report and tracers can attribute wakeups to their sources (the
+        generated code still ends its loop with the equivalent wait).
         """
-        proc = Process(name, generator_fn())
+        proc = Process(name, generator_fn(), sensitivity=sensitivity)
         proc.kernel = self
         self.processes.append(proc)
         return proc
@@ -96,6 +138,9 @@ class Kernel:
     def _execute(self, proc):
         """Run one process until it suspends (or finishes)."""
         self.current_process = proc
+        proc.resumes += 1
+        self._m_resumes.inc()
+        t0 = _time.perf_counter() if self._timed else 0.0
         try:
             request = next(proc.generator)
         except StopIteration:
@@ -106,6 +151,8 @@ class Kernel:
             proc.done = True
             raise
         finally:
+            if self._timed:
+                proc.exec_seconds += _time.perf_counter() - t0
             self.current_process = None
         if not isinstance(request, WaitRequest):
             raise SimulationError(
@@ -127,6 +174,7 @@ class Kernel:
         self.now = tn
         self.step += 1
         self.cycles += 1
+        self._m_cycles.inc()
 
         for sig in self.signals:
             nxt = sig.next_time()
@@ -158,6 +206,7 @@ class Kernel:
             if tn is None:
                 break
             if until is not None and tn > until:
+                self._note_truncation(until, tn)
                 self.now = until
                 break
             if not self.cycle():
@@ -167,15 +216,46 @@ class Kernel:
                 break
             if self.now == last_time:
                 deltas += 1
+                self.delta_cycles += 1
+                self._m_deltas.inc()
                 if deltas > self.max_deltas:
                     raise SimulationError(
                         "more than %d delta cycles at %d fs — "
                         "unbounded zero-delay loop" % (self.max_deltas, self.now)
                     )
             else:
+                self._m_delta_hist.observe(deltas)
                 deltas = 0
                 last_time = self.now
+        self._m_delta_hist.observe(deltas)
         return self.now
+
+    def _note_truncation(self, until, next_time):
+        """``run(until=...)`` stops before the next activity: count the
+        projected transactions it abandons instead of dropping them
+        silently, and leave a note-severity record behind."""
+        pending = sum(
+            len(driver.waveform)
+            for sig in self.signals
+            for driver in sig.drivers.values()
+        )
+        pending += sum(
+            1 for proc in self.processes
+            if not proc.done and proc.wait is not None
+            and proc.timeout_at is not None and proc.timeout_at > until
+        )
+        if not pending:
+            return
+        self.truncated_transactions += pending
+        self._m_truncated.set(self.truncated_transactions)
+        from .tracing import format_fs
+
+        self.logger.report(
+            "note",
+            "simulation truncated at %s: %d pending transaction(s)/"
+            "timeout(s) beyond the stop time (next activity at %s)"
+            % (format_fs(until), pending, format_fs(next_time)),
+            until, _KERNEL_ORIGIN, fail=False)
 
 
 class RT:

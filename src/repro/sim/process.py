@@ -30,7 +30,13 @@ class WaitRequest:
 
 
 class Process:
-    """A running process: generator plus current wait state."""
+    """A running process: generator plus current wait state.
+
+    ``sensitivity`` is the statically declared sensitivity list (or
+    None for wait-driven processes) — kept so telemetry and tracers
+    can attribute wakeups.  ``resumes`` counts kernel resumptions and
+    ``exec_seconds`` accumulates wall-clock execution time (only
+    advanced when the kernel's metrics registry is enabled)."""
 
     __slots__ = (
         "name",
@@ -39,15 +45,22 @@ class Process:
         "timeout_at",
         "done",
         "kernel",
+        "sensitivity",
+        "resumes",
+        "exec_seconds",
     )
 
-    def __init__(self, name, generator):
+    def __init__(self, name, generator, sensitivity=None):
         self.name = name
         self.generator = generator
         self.wait = None
         self.timeout_at = None
         self.done = False
         self.kernel = None
+        self.sensitivity = (
+            list(sensitivity) if sensitivity is not None else None)
+        self.resumes = 0
+        self.exec_seconds = 0.0
 
     def should_resume(self, step, now):
         """Resume test against the current cycle's events."""

@@ -64,13 +64,13 @@ class Driver:
         return [t.time for t in new]
 
     def advance(self, now):
-        """Take due transactions; returns True when the driver's value
-        changed or a transaction fired (the signal becomes *active*)."""
-        fired = False
+        """Take due transactions; returns the number that fired (the
+        signal becomes *active* when any did — truthiness preserved)."""
+        fired = 0
         while self.waveform and self.waveform[0].time <= now:
             t = self.waveform.pop(0)
             self.value = t.value
-            fired = True
+            fired += 1
         return fired
 
     def next_time(self):
@@ -91,6 +91,8 @@ class Signal:
         "last_event_time",
         "image",
         "kernel",
+        "events",
+        "transactions",
     )
 
     def __init__(self, name, init, resolution=None, image=None):
@@ -104,6 +106,8 @@ class Signal:
         self.last_event_time = None
         self.image = image or repr
         self.kernel = None
+        self.events = 0  # lifetime value changes (telemetry)
+        self.transactions = 0  # lifetime fired transactions
 
     def driver_for(self, process):
         """The driver of ``process``, created on first assignment."""
@@ -132,19 +136,20 @@ class Signal:
 
         Returns True when the signal had an event (value change).
         """
-        fired = False
+        fired = 0
         for driver in self.drivers.values():
-            if driver.advance(now):
-                fired = True
+            fired += driver.advance(now)
         if not fired:
             return False
         self.active_delta = step
+        self.transactions += fired
         new_value = self.compute_value()
         if new_value != self.value:
             self.last_value = self.value
             self.value = new_value
             self.event_delta = step
             self.last_event_time = now
+            self.events += 1
             return True
         return False
 

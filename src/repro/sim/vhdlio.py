@@ -33,7 +33,12 @@ class SeverityLogger:
         self.counts = {s: 0 for s in SEVERITIES}
         self.fail_on = SEVERITIES.index(fail_on)
 
-    def report(self, severity, message, now=0, process=None):
+    def report(self, severity, message, now=0, process=None,
+               fail=True):
+        """Record one report.  ``fail=False`` suppresses the
+        :class:`AssertionFailure` promotion — used for kernel-internal
+        bookkeeping notes (e.g. truncation) that must never stop the
+        simulation regardless of ``fail_on``."""
         severity = severity.lower()
         if severity not in SEVERITIES:
             severity = "error"
@@ -49,7 +54,7 @@ class SeverityLogger:
         self.records.append((severity, now, where, message))
         if self.sink is not None:
             self.sink(line)
-        if SEVERITIES.index(severity) >= self.fail_on:
+        if fail and SEVERITIES.index(severity) >= self.fail_on:
             raise AssertionFailure(line)
 
     def errors(self):

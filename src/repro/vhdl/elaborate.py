@@ -67,9 +67,10 @@ class ElabContext:
         self._elab.names.register(sig.name, "signal", sig)
         return sig
 
-    def process(self, name, fn):
+    def process(self, name, fn, sensitivity=None):
         proc = self.kernel.process(
-            "%s%s%s" % (self.path, SEPARATOR, name), fn)
+            "%s%s%s" % (self.path, SEPARATOR, name), fn,
+            sensitivity=sensitivity)
         self._elab.names.register(proc.name, "process", proc)
         return proc
 

@@ -85,7 +85,11 @@ def process_stmt(label, sensitivity_lefs, decls, body, env, cc, line):
     lines.extend(indent(decls.code))
     lines.append(ln("while True:", 1))
     lines.extend(indent(loop_body, 2))
-    lines.append(ln("ctx.process(%r, %s)" % (label, fn)))
+    if sensitivity_lefs is not None:
+        lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
+                        % (label, fn, ", ".join(sens))))
+    else:
+        lines.append(ln("ctx.process(%r, %s)" % (label, fn)))
     return CStmt(lines, msgs, [], label)
 
 
@@ -130,7 +134,8 @@ def concurrent_assign(label, arms, env, cc, line, guarded=False,
     lines.extend(indent(body_lines or [ln("pass")], 2))
     lines.append(ln("yield rt.wait([%s], None, None)"
                     % ", ".join(sorted(sigs)), 2))
-    lines.append(ln("ctx.process(%r, %s)" % (label, fn)))
+    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
+                    % (label, fn, ", ".join(sorted(sigs)))))
     return CStmt(lines, msgs, [], label)
 
 
@@ -175,7 +180,8 @@ def selected_assign(label, selector_lef, target_lef, choices_waves,
     lines.extend(indent(body, 2))
     lines.append(ln("yield rt.wait([%s], None, None)"
                     % ", ".join(sorted(sigs)), 2))
-    lines.append(ln("ctx.process(%r, %s)" % (label, fn)))
+    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
+                    % (label, fn, ", ".join(sorted(sigs)))))
     return CStmt(lines, msgs, [], label)
 
 
@@ -192,7 +198,8 @@ def concurrent_assert(label, cond_lef, report_lef, severity_lef, env,
     lines.extend(indent(sres.code or [ln("pass")], 2))
     lines.append(ln("yield rt.wait([%s], None, None)"
                     % ", ".join(sorted(sres.sigs)), 2))
-    lines.append(ln("ctx.process(%r, %s)" % (label, fn)))
+    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
+                    % (label, fn, ", ".join(sorted(sres.sigs)))))
     return CStmt(lines, sres.msgs, [], label)
 
 
@@ -283,7 +290,9 @@ def block_stmt(label, guard_lef, decls, inner, env, cc, line):
                         % (guard_py, goal.get("code", "0")), 2))
         lines.append(ln("yield rt.wait([%s], None, None)"
                         % ", ".join(sorted(goal.get("sigs", ()))), 2))
-        lines.append(ln("ctx.process(%r, %s)" % (fn, fn)))
+        lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
+                        % (fn, fn,
+                           ", ".join(sorted(goal.get("sigs", ()))))))
     lines.extend(inner.code)
     msgs.extend(inner.msgs)
     return CStmt(lines, msgs, inner.instances, label)

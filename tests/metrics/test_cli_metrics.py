@@ -1,0 +1,148 @@
+"""End-to-end CLI tests for the metrics flags and bench-check."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+DESIGN = """
+entity demo is end demo;
+architecture rtl of demo is
+  signal clk   : bit := '0';
+  signal count : integer := 0;
+begin
+  clock : process
+  begin
+    clk <= not clk after 10 ns;
+    wait on clk;
+  end process;
+  counter : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      count <= count + 1;
+    end if;
+  end process;
+end rtl;
+"""
+
+
+@pytest.fixture()
+def collect():
+    lines = []
+
+    def out(text=""):
+        lines.append(str(text))
+
+    out.lines = lines
+    return out
+
+
+def _design(tmp_path):
+    path = tmp_path / "demo.vhd"
+    path.write_text(DESIGN)
+    return str(path)
+
+
+class TestSimMetrics:
+    def test_metrics_out_snapshot_and_top_table(self, tmp_path,
+                                                collect):
+        src = _design(tmp_path)
+        mpath = str(tmp_path / "m.json")
+        rc = main(["--root", str(tmp_path / "libs"),
+                   "sim", src, "--until", "200ns",
+                   "--metrics-out", mpath, "--top", "2"],
+                  out=collect)
+        assert rc == 0
+        text = "\n".join(collect.lines)
+        assert "hot processes" in text
+        assert "counter" in text and "clk" in text  # sensitivity col
+        with open(mpath) as f:
+            snap = json.load(f)
+        assert snap["schema"] == "repro-metrics/1"
+        assert snap["kind"] == "metrics-snapshot"
+        m = snap["metrics"]
+        # one snapshot covers compile -> elaborate -> simulate
+        assert m["sim_cycles_total"]["samples"][0]["value"] > 0
+        assert "ag_rule_firings_total" in m
+        assert "compile_phase_seconds" in m
+
+    def test_prometheus_output(self, tmp_path, collect):
+        src = _design(tmp_path)
+        mpath = str(tmp_path / "m.prom")
+        rc = main(["--root", str(tmp_path / "libs"),
+                   "sim", src, "--until", "100ns",
+                   "--metrics-out", mpath,
+                   "--metrics-format", "prometheus"],
+                  out=collect)
+        assert rc == 0
+        with open(mpath) as f:
+            text = f.read()
+        assert "# TYPE sim_cycles_total counter" in text
+        assert "sim_deltas_per_timestep_bucket" in text
+
+    def test_metrics_flag_prints_summary(self, tmp_path, collect):
+        src = _design(tmp_path)
+        rc = main(["--root", str(tmp_path / "libs"),
+                   "sim", src, "--until", "100ns", "--metrics"],
+                  out=collect)
+        assert rc == 0
+        assert any("famil" in l for l in collect.lines)
+
+    def test_no_metrics_flags_no_table(self, tmp_path, collect):
+        src = _design(tmp_path)
+        rc = main(["--root", str(tmp_path / "libs"),
+                   "sim", src, "--until", "100ns"], out=collect)
+        assert rc == 0
+        assert not any("hot processes" in l for l in collect.lines)
+
+
+class TestStatsEnvelope:
+    def test_stats_json_shares_envelope(self, collect):
+        rc = main(["stats", "--json"], out=collect)
+        assert rc == 0
+        blob = next(l for l in collect.lines
+                    if l.lstrip().startswith("{"))
+        data = json.loads(blob)
+        assert data["schema"] == "repro-metrics/1"
+        assert data["kind"] == "ag-stats"
+        assert data["grammars"]
+
+
+class TestBenchCheckCLI:
+    def test_gate_with_current_file(self, tmp_path, collect):
+        base = tmp_path / "BENCH_x.json"
+        base.write_text(json.dumps(
+            {"bench": "x", "values": {"n": 3}, "checks": {"n":
+                                                          "exact"}}))
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps({"values": {"n": 3}}))
+        rc = main(["bench-check", "--baseline", str(base),
+                   "--current", str(cur)], out=collect)
+        assert rc == 0
+        cur.write_text(json.dumps({"values": {"n": 4}}))
+        rc = main(["bench-check", "--baseline", str(base),
+                   "--current", str(cur)], out=collect)
+        assert rc == 1
+
+    def test_multiple_baselines_with_current_rejected(self, tmp_path,
+                                                      collect):
+        base = tmp_path / "BENCH_x.json"
+        base.write_text(json.dumps({"values": {}, "checks": {}}))
+        rc = main(["bench-check", "--baseline", str(base),
+                   "--baseline", str(base),
+                   "--current", str(base)], out=collect)
+        assert rc == 2
+
+    def test_committed_baselines_have_envelope(self):
+        here = os.path.dirname(__file__)
+        bench_dir = os.path.normpath(
+            os.path.join(here, "..", "..", "benchmarks"))
+        for name in ("BENCH_simulation.json", "BENCH_incremental.json"):
+            with open(os.path.join(bench_dir, name)) as f:
+                data = json.load(f)
+            assert data["schema"] == "repro-metrics/1"
+            assert data["kind"] == "bench"
+            assert data["values"] and data["checks"]
+            assert set(data["checks"]) == set(data["values"])

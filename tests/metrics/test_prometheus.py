@@ -1,0 +1,80 @@
+"""Format-shape tests for the Prometheus text exposition renderer."""
+
+import re
+
+from repro.metrics import MetricsRegistry, render_prometheus
+
+#: Prometheus text format 0.0.4: a sample line is
+#: ``name{labels} value`` with a valid metric name.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"        # metric name
+    r"(\{[^{}]*\})?"                     # optional label set
+    r" -?(\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$")
+
+
+def _render(reg):
+    return render_prometheus(reg.snapshot())
+
+
+def _lines(text):
+    return [l for l in text.strip().split("\n") if l]
+
+
+class TestShape:
+    def test_every_line_is_comment_or_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs run").inc(3)
+        reg.gauge("depth", "queue depth").set(-2)
+        h = reg.histogram("lat_seconds", "latency", buckets=(1, 2, 5))
+        h.observe(1.5)
+        h.labels(phase="parse").observe(0.5)
+        for line in _lines(_render(reg)):
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert SAMPLE_RE.match(line), line
+
+    def test_help_and_type_precede_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs run").inc()
+        lines = _lines(_render(reg))
+        assert lines[0] == "# HELP jobs_total jobs run"
+        assert lines[1] == "# TYPE jobs_total counter"
+        assert lines[2] == "jobs_total 1"
+
+    def test_histogram_expansion(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "l", buckets=(1, 2))
+        for v in (0.5, 1.5, 99):
+            h.observe(v)
+        text = _render(reg)
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert re.search(r"^lat_sum 101\.0$", text, re.M)
+        assert re.search(r"^lat_count 3$", text, re.M)
+
+    def test_bucket_counts_are_cumulative_nondecreasing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("d", buckets=(1, 2, 5, 10))
+        for v in (0, 1, 1, 3, 7, 100):
+            h.observe(v)
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(r'^d_bucket\{le="[^"]+"\} (\d+)$',
+                                 _render(reg), re.M)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 6  # +Inf equals _count
+
+    def test_label_escaping_and_name_sanitization(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("weird.name-total", "h")
+        fam.labels(proc='a"b\\c\nd').inc()
+        text = _render(reg)
+        assert "weird_name_total" in text
+        assert r'proc="a\"b\\c\nd"' in text
+
+    def test_gauge_value_renders(self):
+        reg = MetricsRegistry()
+        reg.gauge("util").labels(pid="7").set(0.75)
+        assert 'util{pid="7"} 0.75' in _render(reg)

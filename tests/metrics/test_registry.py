@@ -1,0 +1,146 @@
+"""repro.metrics.registry: families, children, snapshot envelope."""
+
+import pytest
+
+from repro.metrics import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    SCHEMA,
+    MetricsRegistry,
+    envelope,
+    log125_buckets,
+)
+
+
+class TestEnvelope:
+    def test_schema_and_kind(self):
+        data = envelope("metrics-snapshot", extra=1)
+        assert data["schema"] == SCHEMA == "repro-metrics/1"
+        assert data["kind"] == "metrics-snapshot"
+        assert data["extra"] == 1
+        assert "generated_at" in data
+
+    def test_buckets_are_1_2_5(self):
+        assert log125_buckets(1, 100) == (1, 2, 5, 10, 20, 50, 100)
+        assert log125_buckets(10, 100) == (10, 20, 50, 100)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "jobs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set_total(42)  # harvest-style adoption
+        assert c.value == 42
+
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_labeled_children_are_distinct(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits_total")
+        fam.labels(outcome="hit").inc(3)
+        fam.labels(outcome="miss").inc()
+        assert fam.labels(outcome="hit").value == 3
+        assert fam.labels(outcome="miss").value == 1
+        # label order does not matter
+        fam2 = reg.counter("multi")
+        fam2.labels(a="1", b="2").inc()
+        assert fam2.labels(b="2", a="1").value == 1
+
+    def test_unlabeled_family_is_its_own_child(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("plain")
+        assert fam.labels() is fam
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1, 2, 5))
+        for v in (0, 1, 2, 3, 100):
+            h.observe(v)
+        sample = h._sample_dict()
+        assert sample["count"] == 5
+        assert sample["sum"] == 106
+        assert sample["min"] == 0 and sample["max"] == 100
+        # cumulative, Prometheus style: le=1 -> {0,1}, le=2 -> +{2},
+        # le=5 -> +{3}, +Inf -> +{100}
+        assert sample["buckets"] == [
+            [1, 2], [2, 3], [5, 4], ["+Inf", 5]]
+
+    def test_zero_bucket_captures_zero(self):
+        h = MetricsRegistry().histogram("d", buckets=(0, 1, 2))
+        h.observe(0)
+        assert h._sample_dict()["buckets"][0] == [0, 1]
+
+
+class TestSnapshot:
+    def test_envelope_and_families(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help a").inc()
+        reg.gauge("b").set(2)
+        reg.histogram("c", buckets=(1, 2)).observe(1)
+        snap = reg.snapshot(phase="test")
+        assert snap["schema"] == "repro-metrics/1"
+        assert snap["kind"] == "metrics-snapshot"
+        assert snap["phase"] == "test"
+        m = snap["metrics"]
+        assert m["a_total"]["type"] == "counter"
+        assert m["a_total"]["help"] == "help a"
+        assert m["b"]["type"] == "gauge"
+        assert m["c"]["type"] == "histogram"
+        assert m["a_total"]["samples"][0]["value"] == 1
+
+    def test_labeled_samples_carry_labels(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits_total")
+        fam.labels(outcome="hit").inc(2)
+        samples = reg.snapshot()["metrics"]["hits_total"]["samples"]
+        labeled = [s for s in samples if s["labels"]]
+        assert labeled == [{"value": 2, "labels": {"outcome": "hit"}}]
+
+    def test_summary_is_text(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(3)
+        text = reg.summary("t")
+        assert "t:" in text and "a_total" in text and "3" in text
+
+
+class TestNullRegistry:
+    def test_disabled_and_noop(self):
+        assert NULL_REGISTRY.enabled is False
+        c = NULL_REGISTRY.counter("x")
+        assert c is NULL_METRIC
+        # all mutators are harmless no-ops
+        c.inc()
+        c.dec()
+        c.set(9)
+        c.set_total(9)
+        c.observe(9)
+        assert c.labels(a="b") is c
+        assert c.value == 0
+
+    def test_snapshot_still_enveloped(self):
+        snap = NULL_REGISTRY.snapshot()
+        assert snap["schema"] == "repro-metrics/1"
+        assert snap["metrics"] == {}
+        assert "disabled" in NULL_REGISTRY.summary()
