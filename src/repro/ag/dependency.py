@@ -136,13 +136,25 @@ def _transitive_closure(graph):
 
 
 def _find_cycle(graph):
-    """Return one cycle in ``graph`` as a node list, or ``None``."""
+    """Return one cycle in ``graph`` as a node list, or ``None``.
+
+    Roots and successors are visited in sorted order (by ``repr``, so
+    heterogeneous node keys stay comparable), which makes the
+    *reported* cycle a deterministic function of the graph — the same
+    circular grammar always produces the same diagnostic, independent
+    of set/dict iteration order.  §5.2's point about diagnosing
+    circularities presumes reproducible reports.
+    """
     WHITE, GREY, BLACK = 0, 1, 2
     color = {node: WHITE for node in graph}
-    for root in graph:
+
+    def ordered(nodes):
+        return iter(sorted(nodes, key=repr))
+
+    for root in ordered(graph):
         if color[root] != WHITE:
             continue
-        stack = [(root, iter(graph.get(root, ())))]
+        stack = [(root, ordered(graph.get(root, ())))]
         color[root] = GREY
         path = [root]
         while stack:
@@ -156,7 +168,7 @@ def _find_cycle(graph):
                     return path[i:] + [succ]
                 if color[succ] == WHITE:
                     color[succ] = GREY
-                    stack.append((succ, iter(graph.get(succ, ()))))
+                    stack.append((succ, ordered(graph.get(succ, ()))))
                     path.append(succ)
                     advanced = True
                     break

@@ -1,0 +1,55 @@
+"""repro.analysis — static design linting over compiled VIF units.
+
+The linter sits between compilation and elaboration: it reads the
+facts the attribute-grammar front end already computed (declaration
+tables, generated models) and checks design rules whose violations
+otherwise surface only at simulation time — or never.  Findings are
+ordinary :mod:`repro.diag` diagnostics, so rendering (caret text,
+JSON lines, SARIF 2.1.0 with a populated rules catalog), ``-Werror``
+promotion, and metrics counting all come for free.
+
+Entry points:
+
+* :class:`LintEngine` — the library API (``repro lint`` and the
+  build driver's ``--lint`` both call it);
+* :data:`REGISTRY` / :func:`register` — the pluggable rule registry;
+* :func:`extract_unit_facts` — the rule-agnostic dataflow extractor;
+* baselines: :func:`load_baseline` / :func:`write_baseline` /
+  :func:`apply_baseline` (schema ``repro-lint-baseline/1``).
+"""
+
+from .engine import (
+    BASELINE_SCHEMA,
+    LintEngine,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .facts import (
+    InstanceFact,
+    ObjectFact,
+    ProcessFact,
+    UnitFacts,
+    WaitFact,
+    extract_unit_facts,
+)
+from .rules import REGISTRY, LintContext, Rule, all_rules, register
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "InstanceFact",
+    "LintContext",
+    "LintEngine",
+    "ObjectFact",
+    "ProcessFact",
+    "REGISTRY",
+    "Rule",
+    "UnitFacts",
+    "WaitFact",
+    "all_rules",
+    "apply_baseline",
+    "extract_unit_facts",
+    "load_baseline",
+    "register",
+    "write_baseline",
+]

@@ -48,6 +48,8 @@ class BuildReport:
         self.trace_events = []
         #: merged AG-evaluation counters across all compiled files
         self.ag_stats = {}
+        #: repro.diag.Diagnostic lint findings (``build(lint=...)``)
+        self.lint_findings = []
 
     def record(self, path, action, reason="", messages=(), units=(),
                diagnostics=()):
@@ -118,13 +120,19 @@ class IncrementalBuilder:
 
     # -- public API --------------------------------------------------------
 
-    def build(self, paths, force=False):
+    def build(self, paths, force=False, lint=None):
         """Bring the library up to date with ``paths``.
 
         Returns a :class:`BuildReport`.  Only the *work* library is
         ever written; reference libraries are read-only inputs whose
         interface digests participate in invalidation but which are
         never scheduled for a rebuild.
+
+        ``lint`` is an optional :class:`repro.analysis.LintEngine`;
+        when given, the driver invokes it on every unit the build
+        touched (compiled *or* cache-hit — lint rules evolve
+        independently of source content) and collects the findings in
+        ``report.lint_findings``.
         """
         paths = self._normalize(paths)
         report = BuildReport()
@@ -208,9 +216,28 @@ class IncrementalBuilder:
 
         with tracer.phase("save_manifest"):
             self.cache.save()
+        if lint is not None:
+            with tracer.phase("lint", files=len(report.units)):
+                self._lint(report, lint)
         report.stats = dict(self.cache.stats)
         report.trace_events = tracer.events
         return report
+
+    def _lint(self, report, lint):
+        """Invoke the lint engine per built unit, in build order."""
+        library = self.library()
+        lint.context.library = library
+        seen = set()
+        for path in report.order:
+            for key in report.units.get(path, ()):
+                key = tuple(key)
+                if key in seen:
+                    continue
+                seen.add(key)
+                node = library.find_unit(*key) \
+                    or library._units.get(key)
+                if node is not None:
+                    report.lint_findings.extend(lint.lint_unit(node))
 
     def library(self):
         """A :class:`LibraryManager` over the built root, with the

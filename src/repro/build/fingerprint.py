@@ -22,13 +22,15 @@ instead of silently mis-hitting.
 import hashlib
 import json
 
-# bfp-2: generated models now pass sensitivity lists to
-# ctx.process(); bumping invalidates cached payloads built before.
-FINGERPRINT_VERSION = "bfp-2"
+# bfp-3: generated models now pass declaration line coordinates to
+# ctx.signal()/ctx.port()/ctx.process(), and units record their
+# source file; bumping invalidates cached payloads built before.
+FINGERPRINT_VERSION = "bfp-3"
 
 #: Payload node fields that do not affect a unit's *interface* as seen
-#: by dependents: generated back-end text and source coordinates.
-VOLATILE_FIELDS = ("py_source", "c_source", "line")
+#: by dependents: generated back-end text and source coordinates
+#: (``source_file`` included, so renaming a file does not cascade).
+VOLATILE_FIELDS = ("py_source", "c_source", "line", "source_file")
 
 _SEP = b"\x1f"
 _END = b"\x1e"

@@ -109,6 +109,39 @@ def _make_parser():
                    help="rebuild everything, ignoring the cache")
     p.add_argument("--no-stats", action="store_true",
                    help="suppress the cache-stats report line")
+    p.add_argument("--lint", action="store_true",
+                   help="run the static design linter over every "
+                        "unit the build produced")
+
+    p = sub.add_parser(
+        "lint", parents=[metrics_args],
+        help="static design lint over compiled units (RPL rules) "
+             "and attribute grammars (RPA rules)")
+    p.add_argument("paths", nargs="*",
+                   help=".vhd files or directories to compile and "
+                        "lint (in-memory; the on-disk library is "
+                        "not touched)")
+    p.add_argument("--select", action="append", default=[],
+                   metavar="PREFIX",
+                   help="only run rules whose id starts with PREFIX "
+                        "(repeatable; default: all rules)")
+    p.add_argument("--ignore", action="append", default=[],
+                   metavar="PREFIX",
+                   help="skip rules whose id starts with PREFIX "
+                        "(repeatable)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="suppress findings recorded in this "
+                        "repro-lint-baseline/1 file")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="record current findings as the accepted "
+                        "baseline and exit 0")
+    p.add_argument("--format", dest="lint_format", default=None,
+                   choices=("text", "json", "sarif"),
+                   help="finding rendering (default: --diag-format)")
+    p.add_argument("--ag", action="append", default=[],
+                   choices=("principal", "expr"),
+                   help="also lint a built-in attribute grammar "
+                        "(RPA rules; repeatable)")
 
     p = sub.add_parser("dump", help="human-readable VIF of a unit")
     p.add_argument("library")
@@ -272,7 +305,13 @@ def cmd_build(args, out):
         builder = IncrementalBuilder(
             args.root, work=args.work,
             reference_libs=tuple(args.ref), jobs=args.jobs)
-        report = builder.build(args.files, force=args.force)
+        lint_engine = None
+        if args.lint:
+            from .analysis import LintEngine
+
+            lint_engine = LintEngine(work=args.work)
+        report = builder.build(args.files, force=args.force,
+                               lint=lint_engine)
     except BuildError as exc:
         out("build: %s" % exc)
         return 2
@@ -290,6 +329,17 @@ def cmd_build(args, out):
             % (s.get("hits", 0), s.get("misses", 0),
                s.get("invalidated", 0), s.get("ag_evaluations", 0),
                report.jobs))
+    lint_errors = 0
+    if args.lint:
+        from .diag import DiagnosticEngine
+
+        diag_engine = DiagnosticEngine(werror=args.werror)
+        for diag in report.lint_findings:
+            diag_engine.emit(diag)
+        for diag in diag_engine.sorted():
+            out(str(diag))
+        lint_errors = diag_engine.error_count
+        out("lint: %s" % diag_engine.summary())
     diags = report.all_diagnostics()
     if args.diag_format != "text" and diags:
         out(render(diags, args.diag_format))
@@ -310,7 +360,133 @@ def cmd_build(args, out):
         registry = _registry_for(args)
         bridge_build_report(registry, report)
         _emit_metrics(registry, args, out, "build metrics")
-    return 0 if report.ok else 1
+    return 0 if report.ok and not lint_errors else 1
+
+
+def _collect_vhdl_paths(paths, out):
+    """Expand files/directories into a sorted list of VHDL sources."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith((".vhd", ".vhdl")):
+                        files.append(os.path.join(dirpath, name))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            out("lint: no such file or directory: %s" % path)
+            return None
+    return files
+
+
+def _builtin_ag(name):
+    """The built-in grammars ``repro lint --ag`` can check, with
+    their evaluation-entry exemptions."""
+    if name == "principal":
+        from .vhdl.grammar import principal_grammar
+
+        return (principal_grammar(),
+                ("ENV", "CC", "LEVEL", "RESULT", "SCOPE"),
+                ("UNITS", "MSGS"))
+    from .vhdl.expr_grammar import expr_grammar
+
+    return expr_grammar(), ("ENV", "CTX"), ("GOAL",)
+
+
+def cmd_lint(args, out):
+    from .analysis import (
+        LintEngine,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from .diag import DiagnosticEngine, render
+    from .vhdl.compiler import CompileError, Compiler
+
+    fmt = args.lint_format or args.diag_format
+    registry = _registry_for(args)
+    files = _collect_vhdl_paths(args.paths, out)
+    if files is None:
+        return 2
+    if not files and not args.ag:
+        out("lint: nothing to lint (no .vhd files, no --ag)")
+        return 2
+
+    # Compile into an in-memory library: lint is a read-only check
+    # and must not disturb the persistent design library.
+    from .vhdl.library import LibraryManager
+
+    library = LibraryManager(root=None, work=args.work,
+                             reference_libs=tuple(args.ref))
+    compiler = Compiler(library=library, work=args.work, strict=False)
+    sources = {}
+    compile_failed = False
+    for path in files:
+        try:
+            result = compiler.compile_file(path)
+        except CompileError as exc:
+            out("%s: %d error(s)" % (path, len(exc.messages)))
+            for message in exc.messages:
+                out("  %s" % message)
+            compile_failed = True
+            continue
+        try:
+            with open(path) as fh:
+                sources[path] = fh.read()
+        except OSError:
+            pass
+        if not result.ok:
+            out("%s: %d error(s)" % (path, len(result.messages)))
+            for message in result.messages:
+                out("  %s" % message)
+            compile_failed = True
+    if compile_failed:
+        out("lint: compilation failed; fix compile errors first")
+        return 2
+
+    engine = LintEngine(library=library, work=args.work,
+                        select=args.select, ignore=args.ignore,
+                        metrics=registry)
+    findings = engine.lint_library() if files else []
+    for name in args.ag:
+        compiled, entry, goals = _builtin_ag(name)
+        findings.extend(engine.lint_ag(
+            compiled, entry_inherited=entry, goals=goals))
+
+    if args.write_baseline:
+        n = write_baseline(args.write_baseline, findings)
+        out("lint baseline written to %s (%d finding(s))"
+            % (args.write_baseline, n))
+        _emit_metrics(registry, args, out, "lint metrics")
+        return 0
+
+    suppressed = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            out("lint: cannot load baseline: %s" % exc)
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
+
+    # Route through a DiagnosticEngine so -Werror promotion and
+    # severity accounting match the compiler's own pipeline.
+    diag_engine = DiagnosticEngine(werror=args.werror)
+    for diag in findings:
+        diag_engine.emit(diag)
+    ordered = diag_engine.sorted()
+    if ordered or fmt == "sarif":
+        out(render(ordered, fmt, sources=sources))
+    tail = "lint: %s" % diag_engine.summary()
+    if suppressed:
+        tail += ", %d baseline-suppressed" % len(suppressed)
+    tail += " (%d unit(s) checked)" % len(
+        [k for k in library._units if k[0] == args.work])
+    out(tail)
+    _emit_metrics(registry, args, out, "lint metrics")
+    return 1 if ordered else 0
 
 
 def cmd_dump(args, out):
@@ -443,6 +619,7 @@ COMMANDS = {
     "build": cmd_build,
     "compile": cmd_compile,
     "dump": cmd_dump,
+    "lint": cmd_lint,
     "list": cmd_list,
     "simulate": cmd_simulate,
     "sim": cmd_simulate,

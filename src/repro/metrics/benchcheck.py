@@ -267,9 +267,82 @@ def scenario_incremental():
         shutil.rmtree(base, ignore_errors=True)
 
 
+_LINT_DEFECTS = """
+    entity lint_mix is end lint_mix;
+    architecture a of lint_mix is
+      signal a1 : bit := '0';
+      signal b1 : bit := '0';
+      signal y1 : bit := '0';
+      signal unused : bit := '0';
+    begin
+      comb : process (a1)           -- RPL001: reads b1, not listed
+      begin
+        y1 <= a1 and b1;
+      end process;
+      stim : process
+      begin
+        a1 <= '1' after 1 ns;
+        b1 <= '1' after 2 ns;
+        wait;
+      end process;
+      mon : process (y1)
+      begin
+        assert y1 = '0' or y1 = '1';
+      end process;
+    end a;
+"""
+
+
+def scenario_lint():
+    """Compile the simulation pipeline plus a seeded-defect unit,
+    then measure a full-library lint pass.  Finding counts are
+    deterministic (``exact``); the pass cost is normalized."""
+    from ..analysis import LintEngine
+    from ..vhdl.compiler import Compiler
+
+    compiler = Compiler(strict=False)
+    result = compiler.compile(_SIM_SOURCE + _LINT_DEFECTS)
+    if not result.ok:
+        raise RuntimeError("bench-check lint design failed to "
+                           "compile: %s" % result.messages[:3])
+
+    def measure():
+        registry = MetricsRegistry()
+        engine = LintEngine(library=compiler.library,
+                            metrics=registry)
+        return registry, engine.lint_library()
+
+    ratio, best, calib, (registry, findings) = normalized_cost(
+        measure)
+    by_rule = {}
+    for diag in findings:
+        by_rule[diag.code] = by_rule.get(diag.code, 0) + 1
+    units = len(compiler.library._units)
+    values = {
+        "units_checked": units,
+        "findings_total": len(findings),
+        "findings_rpl001": by_rule.get("RPL001", 0),
+        "findings_rpl003": by_rule.get("RPL003", 0),
+        "normalized_cost": round(ratio, 4),
+    }
+    checks = {
+        "units_checked": "exact",
+        "findings_total": "exact",
+        "findings_rpl001": "exact",
+        "findings_rpl003": "exact",
+        "normalized_cost": "max",
+    }
+    timings = {"run_s": round(best, 6),
+               "calibration_s": round(calib, 6)}
+    return envelope("bench", bench="lint", values=values,
+                    checks=checks, timings=timings,
+                    metrics=registry.snapshot()["metrics"])
+
+
 SCENARIOS = {
     "simulation": scenario_simulation,
     "incremental": scenario_incremental,
+    "lint": scenario_lint,
 }
 
 

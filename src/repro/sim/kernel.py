@@ -87,7 +87,7 @@ class Kernel:
         self.signals.append(sig)
         return sig
 
-    def process(self, name, generator_fn, sensitivity=None):
+    def process(self, name, generator_fn, sensitivity=None, line=None):
         """Register a process.
 
         ``generator_fn`` is a nullary callable returning the process
@@ -95,8 +95,10 @@ class Kernel:
         signals — is stored on the :class:`Process` so the metrics
         report and tracers can attribute wakeups to their sources (the
         generated code still ends its loop with the equivalent wait).
+        ``line`` is the declaring source line (diagnostics).
         """
-        proc = Process(name, generator_fn(), sensitivity=sensitivity)
+        proc = Process(name, generator_fn(), sensitivity=sensitivity,
+                       decl_line=line)
         proc.kernel = self
         self.processes.append(proc)
         return proc

@@ -48,9 +48,11 @@ class Process:
         "sensitivity",
         "resumes",
         "exec_seconds",
+        "decl_line",
     )
 
-    def __init__(self, name, generator, sensitivity=None):
+    def __init__(self, name, generator, sensitivity=None,
+                 decl_line=None):
         self.name = name
         self.generator = generator
         self.wait = None
@@ -61,6 +63,7 @@ class Process:
             list(sensitivity) if sensitivity is not None else None)
         self.resumes = 0
         self.exec_seconds = 0.0
+        self.decl_line = decl_line  # declaring source line or None
 
     def should_resume(self, step, now):
         """Resume test against the current cycle's events."""

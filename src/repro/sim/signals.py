@@ -93,6 +93,7 @@ class Signal:
         "kernel",
         "events",
         "transactions",
+        "decl_span",
     )
 
     def __init__(self, name, init, resolution=None, image=None):
@@ -108,6 +109,10 @@ class Signal:
         self.kernel = None
         self.events = 0  # lifetime value changes (telemetry)
         self.transactions = 0  # lifetime fired transactions
+        #: :class:`repro.diag.SourceSpan` of the declaring VHDL
+        #: ``signal``/``port`` declaration, or None for kernel-level
+        #: signals created outside elaboration.
+        self.decl_span = None
 
     def driver_for(self, process):
         """The driver of ``process``, created on first assignment."""
@@ -125,10 +130,18 @@ class Signal:
         if self.resolution is not None:
             return self.resolution(values)
         if len(values) > 1:
-            raise RuntimeError_(
+            message = (
                 "signal %r has %d drivers but no resolution function"
                 % (self.name, len(values))
             )
+            if self.decl_span is not None \
+                    and self.decl_span.is_anchored:
+                # Cite the declaration site — the same span the
+                # compile-time RPL002 lint reports for this defect.
+                message += " (declared at %s)" % self.decl_span
+            exc = RuntimeError_(message)
+            exc.span = self.decl_span
+            raise exc
         return values[0]
 
     def update(self, now, step):

@@ -15,10 +15,14 @@ from .stdpkg import standard
 class CompileCtx:
     """Per-unit compilation services."""
 
-    def __init__(self, library=None, work="work"):
+    def __init__(self, library=None, work="work", filename=None):
         self.std = standard()
         self.library = library  # LibraryManager or None
         self.work = work  # name of the working library
+        #: the source file being compiled; stamped onto every unit at
+        #: registration so post-compile tools (``repro lint``, runtime
+        #: multi-driver errors) can anchor diagnostics to declarations
+        self.filename = filename
         self.expr_eval = ExprEvaluator(self.std, self._resolve_unit)
         self._gensym = 0
         #: set by the unit productions as they learn what they compile

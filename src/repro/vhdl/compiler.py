@@ -130,7 +130,7 @@ class Compiler:
         tracer = self.tracer
         engine = DiagnosticEngine(file=filename, werror=self.werror)
         timings = {}
-        cc = CompileCtx(self.library, self.work)
+        cc = CompileCtx(self.library, self.work, filename=filename)
         grammar = principal_grammar()
         events_before = len(tracer.events)
 

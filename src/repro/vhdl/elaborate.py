@@ -52,25 +52,42 @@ class ElabContext:
                 % (name, self.path))
         return default
 
-    def port(self, name, init=0, mode="in"):
+    def port(self, name, init=0, mode="in", line=None):
         sig = self._ports.get(name)
         if sig is None:
             # Unbound/top-level port: a fresh signal.
-            sig = self.signal(name, init)
+            sig = self.signal(name, init, line=line)
         return sig
 
     # -- declarations ------------------------------------------------------------
 
-    def signal(self, name, init=0, res=None):
+    def _decl_span(self, line):
+        """Declaration span for a generated ``line=`` coordinate.
+
+        The architecture node carries the source file it was compiled
+        from (stamped at registration), so runtime errors — the
+        multi-driver resolution failure above all — can cite the same
+        declaration site ``repro lint`` reports at compile time.
+        """
+        if line is None:
+            return None
+        from ..diag import SourceSpan
+
+        src = getattr(self._arch, "source_file", None) \
+            if self._arch is not None else None
+        return SourceSpan(file=src or None, line=line)
+
+    def signal(self, name, init=0, res=None, line=None):
         sig = self.kernel.signal(
             "%s%s%s" % (self.path, SEPARATOR, name), init, res)
+        sig.decl_span = self._decl_span(line)
         self._elab.names.register(sig.name, "signal", sig)
         return sig
 
-    def process(self, name, fn, sensitivity=None):
+    def process(self, name, fn, sensitivity=None, line=None):
         proc = self.kernel.process(
             "%s%s%s" % (self.path, SEPARATOR, name), fn,
-            sensitivity=sensitivity)
+            sensitivity=sensitivity, line=line)
         self._elab.names.register(proc.name, "process", proc)
         return proc
 

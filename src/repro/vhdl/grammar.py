@@ -583,7 +583,7 @@ def _decl_productions(g):
         "iface -> iface_class idlist COLON mode_opt sub_ind init_opt")
     p.rule("iface.IFACE", "iface_class.KW", "idlist.IDS", "mode_opt.KW",
            "sub_ind.SUB", "init_opt.OPT", "iface.ENV", "iface.CC",
-           fn=_iface)
+           "COLON.line", fn=_iface)
     p = g.production("iface_class_none", "iface_class ->")
     p.const("iface_class.KW", "")
     p = g.production("iface_class_signal", "iface_class -> kw_signal")
@@ -666,15 +666,15 @@ def _interface_entries(iface_rows, obj_class, cc, line):
     return entries, msgs, inits
 
 
-def _iface(class_kw, ids, mode, sub, init_lef, env, cc):
+def _iface(class_kw, ids, mode, sub, init_lef, env, cc, line=0):
     init_goal = None
     if init_lef is not None:
         init_goal = cc.eval_expr(init_lef, env,
-                                 lef_line(init_lef),
+                                 lef_line(init_lef, line),
                                  expected=sub.vtype)
     return [{
         "names": list(ids), "class": class_kw, "mode": mode,
-        "sub": sub, "init_goal": init_goal, "line": 0,
+        "sub": sub, "init_goal": init_goal, "line": line,
     }]
 
 
@@ -1465,8 +1465,14 @@ def _register_unit(unit, clauses, cc):
     units (an architecture sees its entity's context)."""
     if unit is None:
         return None
-    if "context" in {f.name for f in unit.VIF_FIELDS}:
+    field_names = {f.name for f in unit.VIF_FIELDS}
+    if "context" in field_names:
         unit.context = [list(c) for c in clauses]
+    if "source_file" in field_names:
+        # Stamp the declaring source file before the library
+        # serializes the VIF payload, so reloaded units still know
+        # where their declarations live (lint spans, runtime errors).
+        unit.source_file = cc.filename or ""
     if cc.library is not None:
         cc.library.register_unit(cc.work, unit)
     return unit

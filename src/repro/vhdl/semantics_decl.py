@@ -273,8 +273,8 @@ def object_decl(obj_class, names, sub, init_goal, env, cc, line,
         new_env = new_env.bind(name, entry)
         if obj_class == "signal":
             res = _resolution_code(sub, cc)
-            code.append(ln("%s = ctx.signal(%r, init=%s%s)"
-                           % (py, name, init_code, res)))
+            code.append(ln("%s = ctx.signal(%r, init=%s%s, line=%r)"
+                           % (py, name, init_code, res, line)))
         elif obj_class in ("constant", "variable"):
             code.append(ln("%s = %s" % (py, init_code)))
     return DeclResult(new_env, code, entries, msgs)

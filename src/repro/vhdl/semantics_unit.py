@@ -86,10 +86,12 @@ def process_stmt(label, sensitivity_lefs, decls, body, env, cc, line):
     lines.append(ln("while True:", 1))
     lines.extend(indent(loop_body, 2))
     if sensitivity_lefs is not None:
-        lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
-                        % (label, fn, ", ".join(sens))))
+        lines.append(ln("ctx.process(%r, %s, sensitivity=[%s], "
+                        "line=%r)" % (label, fn, ", ".join(sens),
+                                      line)))
     else:
-        lines.append(ln("ctx.process(%r, %s)" % (label, fn)))
+        lines.append(ln("ctx.process(%r, %s, line=%r)"
+                        % (label, fn, line)))
     return CStmt(lines, msgs, [], label)
 
 
@@ -134,8 +136,8 @@ def concurrent_assign(label, arms, env, cc, line, guarded=False,
     lines.extend(indent(body_lines or [ln("pass")], 2))
     lines.append(ln("yield rt.wait([%s], None, None)"
                     % ", ".join(sorted(sigs)), 2))
-    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
-                    % (label, fn, ", ".join(sorted(sigs)))))
+    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s], line=%r)"
+                    % (label, fn, ", ".join(sorted(sigs)), line)))
     return CStmt(lines, msgs, [], label)
 
 
@@ -180,8 +182,8 @@ def selected_assign(label, selector_lef, target_lef, choices_waves,
     lines.extend(indent(body, 2))
     lines.append(ln("yield rt.wait([%s], None, None)"
                     % ", ".join(sorted(sigs)), 2))
-    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
-                    % (label, fn, ", ".join(sorted(sigs)))))
+    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s], line=%r)"
+                    % (label, fn, ", ".join(sorted(sigs)), line)))
     return CStmt(lines, msgs, [], label)
 
 
@@ -198,8 +200,9 @@ def concurrent_assert(label, cond_lef, report_lef, severity_lef, env,
     lines.extend(indent(sres.code or [ln("pass")], 2))
     lines.append(ln("yield rt.wait([%s], None, None)"
                     % ", ".join(sorted(sres.sigs)), 2))
-    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
-                    % (label, fn, ", ".join(sorted(sres.sigs)))))
+    lines.append(ln("ctx.process(%r, %s, sensitivity=[%s], line=%r)"
+                    % (label, fn, ", ".join(sorted(sres.sigs)),
+                       line)))
     return CStmt(lines, sres.msgs, [], label)
 
 
@@ -290,9 +293,11 @@ def block_stmt(label, guard_lef, decls, inner, env, cc, line):
                         % (guard_py, goal.get("code", "0")), 2))
         lines.append(ln("yield rt.wait([%s], None, None)"
                         % ", ".join(sorted(goal.get("sigs", ()))), 2))
-        lines.append(ln("ctx.process(%r, %s, sensitivity=[%s])"
+        lines.append(ln("ctx.process(%r, %s, sensitivity=[%s], "
+                        "line=%r)"
                         % (fn, fn,
-                           ", ".join(sorted(goal.get("sigs", ()))))))
+                           ", ".join(sorted(goal.get("sigs", ()))),
+                           line)))
     lines.extend(inner.code)
     msgs.extend(inner.msgs)
     return CStmt(lines, msgs, inner.instances, label)
@@ -354,8 +359,8 @@ def entity_setup_code(entity):
             init = code_for_value(p.value)
         else:
             init = default_init(p.vtype) or "0"
-        lines.append(ln("%s = ctx.port(%r, init=%s, mode=%r)"
-                        % (p.py, p.name, init, p.mode)))
+        lines.append(ln("%s = ctx.port(%r, init=%s, mode=%r, line=%r)"
+                        % (p.py, p.name, init, p.mode, p.line)))
     return lines
 
 

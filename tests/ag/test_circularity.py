@@ -63,6 +63,43 @@ class TestConservativeTest:
                 only_union_circular()).check_noncircular()
 
 
+class TestDeterministicCycleReport:
+    def test_find_cycle_is_order_independent(self):
+        """The reported cycle must be a function of the *graph*, not
+        of dict insertion order: every insertion permutation of the
+        same two-cycle graph yields the identical cycle."""
+        from itertools import permutations
+
+        from repro.ag.dependency import _find_cycle
+
+        edges = {
+            (0, "a"): {(1, "b")},
+            (1, "b"): {(0, "a")},
+            (2, "c"): {(0, "a"), (1, "b")},
+            (3, "d"): set(),
+        }
+        reports = set()
+        for perm in permutations(edges):
+            graph = {node: set(edges[node]) for node in perm}
+            cycle = _find_cycle(graph)
+            assert cycle is not None
+            reports.add(tuple(cycle))
+        assert len(reports) == 1
+        # Sorted-root traversal enters the cycle at its smallest node.
+        assert reports.pop()[0] == (0, "a")
+
+    def test_circularity_error_message_is_stable(self):
+        """Ten fresh builds of the same circular grammar report the
+        same cycle text (the diagnostic the §5.2 workflow keys on)."""
+        messages = set()
+        for _ in range(10):
+            with pytest.raises(CircularityError) as err:
+                DependencyAnalysis(
+                    truly_circular()).check_noncircular()
+            messages.add(str(err.value))
+        assert len(messages) == 1
+
+
 class TestKnuthExactTest:
     def test_accepts_noncircular(self):
         from .calc_fixture import make_compiled

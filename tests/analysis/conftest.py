@@ -1,0 +1,43 @@
+import os
+
+import pytest
+
+from repro.analysis import LintEngine
+from repro.vhdl.compiler import Compiler
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture_path(name):
+    return os.path.join(FIXTURES, name)
+
+
+def compile_source(src, filename="t.vhd"):
+    """Compile VHDL text into a fresh in-memory library."""
+    compiler = Compiler()
+    result = compiler.compile(src, filename)
+    assert result.ok, result.messages
+    return compiler
+
+
+def compile_fixture(name):
+    compiler = Compiler()
+    result = compiler.compile_file(fixture_path(name))
+    assert result.ok, result.messages
+    return compiler
+
+
+def lint_fixture(name, **engine_kwargs):
+    compiler = compile_fixture(name)
+    engine = LintEngine(library=compiler.library, **engine_kwargs)
+    return engine.lint_library()
+
+
+@pytest.fixture
+def lint_source():
+    def _lint(src, filename="t.vhd", **engine_kwargs):
+        compiler = compile_source(src, filename)
+        engine = LintEngine(library=compiler.library, **engine_kwargs)
+        return engine.lint_library()
+
+    return _lint

@@ -1,0 +1,24 @@
+-- RPL001 true positive: 'comb' reads b_in but is only sensitive to
+-- a_in, so simulation never re-evaluates it on b_in events.
+entity rpl001_bad is end rpl001_bad;
+
+architecture a of rpl001_bad is
+  signal a_in, b_in, y : bit;
+begin
+  comb : process (a_in)
+  begin
+    y <= a_in and b_in;
+  end process;
+
+  stim : process
+  begin
+    a_in <= '1' after 1 ns;
+    b_in <= '1' after 2 ns;
+    wait;
+  end process;
+
+  mon : process (y)
+  begin
+    assert y = '0' or y = '1';
+  end process;
+end a;

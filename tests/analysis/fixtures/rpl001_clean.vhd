@@ -1,0 +1,40 @@
+-- RPL001 true negative: the complete sensitivity list, plus the
+-- clocked idiom whose data reads sit under a clk'event guard.
+entity rpl001_clean is end rpl001_clean;
+
+architecture a of rpl001_clean is
+  signal a_in, b_in, y : bit;
+  signal clk, d, q : bit;
+begin
+  comb : process (a_in, b_in)
+  begin
+    y <= a_in and b_in;
+  end process;
+
+  reg : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      q <= d;
+    end if;
+  end process;
+
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+
+  stim : process
+  begin
+    a_in <= '1' after 1 ns;
+    b_in <= '1' after 2 ns;
+    d <= '1' after 7 ns;
+    wait;
+  end process;
+
+  mon : process (y, q)
+  begin
+    assert y = '0' or y = '1';
+    assert q = '0' or q = '1';
+  end process;
+end a;

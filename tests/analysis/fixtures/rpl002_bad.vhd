@@ -1,0 +1,31 @@
+-- RPL002 true positive: two processes drive 'x', which has no
+-- resolution function.  Simulating this design raises the matching
+-- runtime error from Signal.compute_value at the same declaration.
+entity rpl002_bad is end rpl002_bad;
+
+architecture a of rpl002_bad is
+  signal x : bit;
+  signal obs : bit;
+begin
+  p1 : process
+  begin
+    x <= '0' after 1 ns;
+    wait;
+  end process;
+
+  p2 : process
+  begin
+    x <= '1' after 1 ns;
+    wait;
+  end process;
+
+  mon : process (x)
+  begin
+    obs <= x;
+  end process;
+
+  obs_mon : process (obs)
+  begin
+    assert obs = '0' or obs = '1';
+  end process;
+end a;

@@ -1,0 +1,48 @@
+-- RPL002 true negative: the same two drivers, but 'x' is declared
+-- with a bus resolution function, so multiple drivers are legal.
+package rpl002_pkg is
+  function wired_or (vals : bit_vector) return bit;
+end rpl002_pkg;
+
+package body rpl002_pkg is
+  function wired_or (vals : bit_vector) return bit is
+  begin
+    for i in vals'range loop
+      if vals(i) = '1' then
+        return '1';
+      end if;
+    end loop;
+    return '0';
+  end wired_or;
+end rpl002_pkg;
+
+entity rpl002_clean is end rpl002_clean;
+
+use work.rpl002_pkg.all;
+
+architecture a of rpl002_clean is
+  signal x : wired_or bit;
+  signal obs : bit;
+begin
+  p1 : process
+  begin
+    x <= '0' after 1 ns;
+    wait;
+  end process;
+
+  p2 : process
+  begin
+    x <= '1' after 1 ns;
+    wait;
+  end process;
+
+  mon : process (x)
+  begin
+    obs <= x;
+  end process;
+
+  obs_mon : process (obs)
+  begin
+    assert obs = '0' or obs = '1';
+  end process;
+end a;

@@ -1,0 +1,19 @@
+-- RPL003 true positive: 'dead' is declared but nothing reads,
+-- drives, waits on, or connects it.
+entity rpl003_bad is end rpl003_bad;
+
+architecture a of rpl003_bad is
+  signal live : bit;
+  signal dead : bit;
+begin
+  p : process
+  begin
+    live <= '1' after 1 ns;
+    wait;
+  end process;
+
+  mon : process (live)
+  begin
+    assert live = '0' or live = '1';
+  end process;
+end a;

@@ -1,0 +1,24 @@
+-- RPL003 true negative: every declared signal is used somewhere
+-- (driven, read, or a wait/sensitivity source).
+entity rpl003_clean is end rpl003_clean;
+
+architecture a of rpl003_clean is
+  signal live : bit;
+  signal echo : bit;
+begin
+  p : process
+  begin
+    live <= '1' after 1 ns;
+    wait;
+  end process;
+
+  mon : process (live)
+  begin
+    echo <= live;
+  end process;
+
+  echo_mon : process (echo)
+  begin
+    assert echo = '0' or echo = '1';
+  end process;
+end a;

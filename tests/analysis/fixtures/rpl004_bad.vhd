@@ -1,0 +1,22 @@
+-- RPL004 true positive (and RPL006): after its first wait, 'spin'
+-- enters a loop with no wait statement — once resumed it can never
+-- suspend again, and the assignment after the loop is unreachable.
+entity rpl004_bad is end rpl004_bad;
+
+architecture a of rpl004_bad is
+  signal x : bit;
+begin
+  spin : process
+  begin
+    wait for 10 ns;
+    loop
+      x <= not x;
+    end loop;
+    x <= '0';
+  end process;
+
+  mon : process (x)
+  begin
+    assert x = '0' or x = '1';
+  end process;
+end a;

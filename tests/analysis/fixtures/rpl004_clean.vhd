@@ -1,0 +1,20 @@
+-- RPL004 true negative: the infinite loop suspends on every
+-- iteration, which is exactly what a process body is.
+entity rpl004_clean is end rpl004_clean;
+
+architecture a of rpl004_clean is
+  signal x : bit;
+begin
+  spin : process
+  begin
+    loop
+      x <= not x;
+      wait for 10 ns;
+    end loop;
+  end process;
+
+  mon : process (x)
+  begin
+    assert x = '0' or x = '1';
+  end process;
+end a;

@@ -1,0 +1,14 @@
+-- RPL005 true positive: 'p' drives its own mode-in port, inverting
+-- the declared interface direction.
+entity rpl005_bad is
+  port (d : in bit; q : out bit);
+end rpl005_bad;
+
+architecture a of rpl005_bad is
+begin
+  p : process (d)
+  begin
+    d <= '0';
+    q <= d;
+  end process;
+end a;

@@ -1,0 +1,13 @@
+-- RPL005 true negative: in ports are read and waited on, out ports
+-- are driven.
+entity rpl005_clean is
+  port (d : in bit; q : out bit);
+end rpl005_clean;
+
+architecture a of rpl005_clean is
+begin
+  p : process (d)
+  begin
+    q <= d;
+  end process;
+end a;

@@ -1,0 +1,22 @@
+-- RPL006 true positive: two statements after the wait-less infinite
+-- loop can never execute.  (RPL004 necessarily fires here too.)
+entity rpl006_bad is end rpl006_bad;
+
+architecture a of rpl006_bad is
+  signal x, done : bit;
+begin
+  spin : process
+  begin
+    wait for 10 ns;
+    loop
+      x <= not x;
+    end loop;
+    x <= '0';
+    done <= '1';
+  end process;
+
+  mon : process (x, done)
+  begin
+    assert done = '0' or done = '1';
+  end process;
+end a;

@@ -1,0 +1,22 @@
+-- RPL006 true negative: the loop suspends, so the statement after
+-- it is reachable whenever the loop exits.
+entity rpl006_clean is end rpl006_clean;
+
+architecture a of rpl006_clean is
+  signal x, done : bit;
+begin
+  spin : process
+  begin
+    for i in 0 to 3 loop
+      x <= not x;
+      wait for 10 ns;
+    end loop;
+    done <= '1';
+    wait;
+  end process;
+
+  mon : process (x, done)
+  begin
+    assert done = '0' or done = '1';
+  end process;
+end a;

@@ -1,0 +1,188 @@
+"""The dataflow fact extractor over generated models."""
+
+from repro.analysis import extract_unit_facts
+
+from .conftest import compile_source
+
+SRC = """
+entity facts_demo is
+  port (clk : in bit; dout : out bit);
+end facts_demo;
+
+architecture rtl of facts_demo is
+  signal d, q : bit;
+begin
+  reg : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      q <= d;
+    end if;
+  end process;
+
+  drive : process
+  begin
+    d <= '1' after 3 ns;
+    wait for 20 ns;
+    wait;
+  end process;
+
+  outp : process (q)
+  begin
+    dout <= q;
+  end process;
+end rtl;
+"""
+
+
+def arch_facts(src=SRC, key="rtl(facts_demo)"):
+    compiler = compile_source(src, "facts_demo.vhd")
+    node = compiler.library._units[("work", key)]
+    return extract_unit_facts(node)
+
+
+class TestObjectTable:
+    def test_signals_and_ports_with_lines(self):
+        facts = arch_facts()
+        kinds = {o.name: o.kind for o in facts.objects.values()}
+        assert kinds == {"clk": "port", "dout": "port",
+                         "d": "signal", "q": "signal"}
+        modes = {o.name: o.mode for o in facts.objects.values()
+                 if o.kind == "port"}
+        assert modes == {"clk": "in", "dout": "out"}
+        lines = {o.name: o.line for o in facts.objects.values()}
+        assert lines["clk"] == 3
+        assert lines["d"] == 7  # "signal d, q : bit;"
+        assert all(isinstance(v, int) for v in lines.values())
+
+    def test_file_attribution(self):
+        facts = arch_facts()
+        assert facts.file == "facts_demo.vhd"
+
+    def test_resolution_detection(self, ):
+        src = """
+package p is
+  function any1 (vals : bit_vector) return bit;
+end p;
+package body p is
+  function any1 (vals : bit_vector) return bit is
+  begin
+    return '1';
+  end any1;
+end p;
+entity e is end e;
+use work.p.all;
+architecture a of e is
+  signal r : any1 bit;
+  signal plain : bit;
+begin
+  p1 : process begin r <= '1'; plain <= '0'; wait; end process;
+  m : process (r, plain) begin assert r = '1'; end process;
+end a;
+"""
+        facts = arch_facts(src, key="a(e)")
+        by_name = {o.name: o for o in facts.objects.values()}
+        assert by_name["r"].resolved
+        assert not by_name["plain"].resolved
+
+
+class TestProcessFacts:
+    def test_sensitivity_and_guarded_reads(self):
+        facts = arch_facts()
+        reg = [p for p in facts.processes if p.label == "reg"][0]
+        names = lambda pys: {facts.objects[n].name for n in pys}
+        assert names(reg.sensitivity) == {"clk"}
+        # the data read sits under the clk'event guard...
+        assert names(reg.guarded_reads) == {"d"}
+        # ...while the clock-level test reads clk plainly.
+        assert names(reg.plain_reads) == {"clk"}
+        assert names(reg.attr_uses) == {"clk"}
+        assert names(reg.drives) == {"q"}
+
+    def test_wait_topology(self):
+        facts = arch_facts()
+        drive = [p for p in facts.processes
+                 if p.label == "drive"][0]
+        assert drive.sensitivity is None
+        assert len(drive.waits) == 2
+        timed, forever = drive.waits
+        assert timed.has_timeout and not timed.forever
+        assert forever.forever
+
+    def test_sensitivity_process_gets_trailing_wait(self):
+        facts = arch_facts()
+        outp = [p for p in facts.processes if p.label == "outp"][0]
+        # the compiler ends sensitivity processes with wait-on-list
+        assert outp.waits
+        assert {facts.objects[n].name
+                for n in outp.waits[-1].signals} == {"q"}
+
+    def test_waitless_loop_and_unreachable(self):
+        src = """
+entity e is end e;
+architecture a of e is
+  signal x : bit;
+begin
+  spin : process
+  begin
+    wait for 1 ns;
+    loop
+      x <= not x;
+    end loop;
+    x <= '0';
+  end process;
+  m : process (x) begin assert x = '0' or x = '1'; end process;
+end a;
+"""
+        facts = arch_facts(src, key="a(e)")
+        spin = [p for p in facts.processes if p.label == "spin"][0]
+        assert spin.waitless_loops == 1
+        assert spin.unreachable_stmts == 1
+
+
+class TestInstanceFacts:
+    def test_connections(self):
+        src = """
+entity leaf is
+  port (i : in bit; o : out bit);
+end leaf;
+architecture a of leaf is
+begin
+  p : process (i) begin o <= i; end process;
+end a;
+entity top is end top;
+architecture s of top is
+  component leaf
+    port (i : in bit; o : out bit);
+  end component;
+  signal a, b : bit;
+begin
+  u1 : leaf port map (i => a, o => b);
+  m : process (b) begin a <= b; end process;
+end s;
+"""
+        facts = arch_facts(src, key="s(top)")
+        assert len(facts.instances) == 1
+        inst = facts.instances[0]
+        assert inst.label == "u1"
+        assert inst.component == "leaf"
+        conn = {f: facts.objects[py].name
+                for f, py in inst.connections.items()}
+        assert conn == {"i": "a", "o": "b"}
+
+
+class TestRobustness:
+    def test_entity_without_code_yields_empty_facts(self):
+        compiler = compile_source(SRC, "facts_demo.vhd")
+        entity = compiler.library._units[("work", "facts_demo")]
+        facts = extract_unit_facts(entity)
+        assert facts.objects == {}
+        assert facts.processes == []
+
+    def test_garbage_py_source_is_tolerated(self):
+        class FakeUnit:
+            name = "broken"
+            py_source = "def elaborate(ctx:\n  oops"
+            source_file = "x.vhd"
+
+        facts = extract_unit_facts(FakeUnit())
+        assert facts.objects == {}

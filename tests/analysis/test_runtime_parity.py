@@ -1,0 +1,77 @@
+"""Compile-time / run-time parity for the multi-driver defect.
+
+RPL002 and :meth:`repro.sim.signals.Signal.compute_value` diagnose
+the same design error at different pipeline stages; both must cite
+the same declaration site, so the user can go from a mid-simulation
+crash to the lint finding (and baseline/fix it) without guessing.
+"""
+
+import pytest
+
+from repro.analysis import LintEngine
+from repro.sim.runtime import RuntimeError_
+from repro.vhdl.elaborate import Elaborator
+
+from .conftest import compile_fixture, fixture_path
+
+
+def simulate_until_error(compiler, top):
+    elab = Elaborator(compiler.library)
+    sim = elab.elaborate(top)
+    with pytest.raises(RuntimeError_) as err:
+        sim.run(until_fs=10_000_000)
+    return err.value
+
+
+class TestMultiDriverParity:
+    def test_lint_fires_where_simulation_would_crash(self):
+        compiler = compile_fixture("rpl002_bad.vhd")
+        findings = LintEngine(
+            library=compiler.library).lint_library()
+        (lint_diag,) = [d for d in findings if d.code == "RPL002"]
+
+        exc = simulate_until_error(compiler, "rpl002_bad")
+        assert "no resolution function" in str(exc)
+
+        # Both cite the same declaration span.
+        assert exc.span is not None
+        assert lint_diag.span == exc.span
+        assert exc.span.file == fixture_path("rpl002_bad.vhd")
+        assert exc.span.line == 7
+
+    def test_runtime_message_cites_the_declaration(self):
+        compiler = compile_fixture("rpl002_bad.vhd")
+        exc = simulate_until_error(compiler, "rpl002_bad")
+        assert "declared at" in str(exc)
+        assert "rpl002_bad.vhd:7" in str(exc)
+
+    def test_resolved_design_passes_both_stages(self):
+        compiler = compile_fixture("rpl002_clean.vhd")
+        findings = LintEngine(
+            library=compiler.library).lint_library()
+        assert findings == []
+        elab = Elaborator(compiler.library)
+        sim = elab.elaborate("rpl002_clean")
+        sim.run(until_fs=10_000_000)  # must not raise
+
+
+class TestKernelSpanPlumbing:
+    def test_signal_decl_span_set_by_elaboration(self):
+        compiler = compile_fixture("rpl002_bad.vhd")
+        elab = Elaborator(compiler.library)
+        sim = elab.elaborate("rpl002_bad")
+        sig = sim.signal("x")
+        assert sig.decl_span is not None
+        assert sig.decl_span.line == 7
+        assert sig.decl_span.file.endswith("rpl002_bad.vhd")
+
+    def test_process_decl_line_recorded(self):
+        compiler = compile_fixture("rpl002_bad.vhd")
+        elab = Elaborator(compiler.library)
+        sim = elab.elaborate("rpl002_bad")
+        lines = {
+            p.name.rsplit(":", 1)[-1]: p.decl_line
+            for p in sim.kernel.processes
+        }
+        assert lines["p1"] == 10
+        assert lines["p2"] == 16

@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 shape tests for lint output: the rules catalog must
+carry per-rule metadata and results must reference it by index."""
+
+import json
+
+from repro.diag.render import render_sarif, sarif_run
+
+from .conftest import lint_fixture
+
+
+def sarif_for(fixture):
+    findings = lint_fixture(fixture)
+    assert findings
+    return json.loads(render_sarif(findings))
+
+
+class TestSarifShape:
+    def test_top_level_shape(self):
+        doc = sarif_for("rpl002_bad.vhd")
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        assert len(doc["runs"]) == 1
+        run = doc["runs"][0]
+        assert "tool" in run and "results" in run
+        assert run["tool"]["driver"]["name"]
+
+    def test_rules_catalog_has_lint_metadata(self):
+        doc = sarif_for("rpl004_bad.vhd")
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        by_id = {r["id"]: r for r in rules}
+        assert set(by_id) == {"RPL004", "RPL006"}
+        # per-rule metadata: the registered summary, not the bare id
+        for rule_id, rule in by_id.items():
+            text = rule["shortDescription"]["text"]
+            assert text and text != rule_id
+        assert "wait" in by_id["RPL004"]["shortDescription"]["text"]
+
+    def test_results_reference_catalog_by_index(self):
+        doc = sarif_for("rpl004_bad.vhd")
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+
+    def test_levels_follow_severity(self):
+        doc = sarif_for("rpl004_bad.vhd")
+        levels = {r["ruleId"]: r["level"]
+                  for r in doc["runs"][0]["results"]}
+        assert levels["RPL004"] == "error"
+        assert levels["RPL006"] == "warning"
+
+    def test_locations_are_physical_and_anchored(self):
+        doc = sarif_for("rpl002_bad.vhd")
+        (result,) = doc["runs"][0]["results"]
+        (loc,) = result["locations"]
+        phys = loc["physicalLocation"]
+        assert phys["artifactLocation"]["uri"].endswith(
+            "rpl002_bad.vhd")
+        assert phys["region"]["startLine"] == 7
+        # the two driving processes are related locations
+        assert len(result["relatedLocations"]) == 2
+
+    def test_sarif_run_merges_compiler_and_lint_codes(self):
+        """Lint findings share the catalog path with compiler
+        diagnostics — one run can carry both code families."""
+        from repro.diag import Diagnostic
+
+        findings = lint_fixture("rpl003_bad.vhd")
+        findings.append(
+            Diagnostic("PARSE001", "error", "synthetic parse error"))
+        doc = sarif_run(findings)
+        ids = {r["id"]
+               for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert ids == {"RPL003", "PARSE001"}
