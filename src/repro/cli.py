@@ -566,6 +566,7 @@ def cmd_simulate(args, out):
             bridge_kernel,
             bridge_observer,
             bridge_tracer,
+            format_calendar_stats,
             format_hot_processes,
         )
 
@@ -576,6 +577,7 @@ def cmd_simulate(args, out):
                           prefix="compile")
         out(format_hot_processes(
             kernel, args.top_n if args.top_n is not None else 5))
+        out(format_calendar_stats(kernel))
         _emit_metrics(registry, args, out, "simulation metrics")
     return 0
 

@@ -54,6 +54,26 @@ def bridge_kernel(registry, kernel):
         len(kernel.signals))
     registry.gauge("sim_processes", "processes in the design").set(
         len(kernel.processes))
+    # -- activity-driven scheduler (event calendar + fanout index).
+    # Plain integer attributes on the kernel, harvested here like
+    # every other hot-path tally.
+    registry.gauge(
+        "sim_calendar_heap_size",
+        "calendar entries (live + stale) currently in the "
+        "scheduling heap").set(len(getattr(kernel, "_calendar", ())))
+    registry.gauge(
+        "sim_calendar_heap_peak",
+        "high-water calendar heap size").set(
+            getattr(kernel, "calendar_peak", 0))
+    registry.counter(
+        "sim_calendar_stale_pops_total",
+        "calendar entries discarded by lazy deletion (preempted "
+        "transactions, satisfied waits)").set_total(
+            getattr(kernel, "stale_pops", 0))
+    registry.counter(
+        "sim_calendar_fanout_visits_total",
+        "waiting-process visits through the signal fanout "
+        "index").set_total(getattr(kernel, "fanout_visits", 0))
     return registry
 
 
@@ -94,6 +114,23 @@ def format_hot_processes(kernel, top=5):
                      % (name, resumes, seconds * 1e3,
                         ",".join(sens) if sens else "-"))
     return "\n".join(lines)
+
+
+def format_calendar_stats(kernel):
+    """A one-line scheduler summary for ``repro sim --metrics``:
+    how activity-driven the run actually was (fanout visits vs the
+    resumes a full sweep would have tested), plus the calendar's
+    high-water size and lazy-deletion discards."""
+    cycles = max(kernel.cycles, 1)
+    swept = cycles * len(kernel.processes)
+    visits = getattr(kernel, "fanout_visits", 0)
+    return (
+        "scheduler: %d cycles (%d delta), calendar peak %d, "
+        "%d stale pop(s), %d fanout visit(s) "
+        "(full sweep would test %d waits)"
+        % (kernel.cycles, kernel.delta_cycles,
+           getattr(kernel, "calendar_peak", 0),
+           getattr(kernel, "stale_pops", 0), visits, swept))
 
 
 # -- attribute-grammar evaluation --------------------------------------------

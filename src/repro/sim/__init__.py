@@ -4,7 +4,9 @@
 (2) Runtime Support, (3) VHDL I/O, (4) Name Server."
 
 - :mod:`repro.sim.kernel` — the simulation kernel: simulation-cycle
-  semantics, delta cycles, process scheduling.
+  semantics, delta cycles, activity-driven process scheduling (event
+  calendar + signal fanout index; :class:`~repro.sim.kernel.ScanKernel`
+  keeps the full-scan reference scheduler for differential testing).
 - :mod:`repro.sim.signals` — signals, drivers, projected output
   waveforms, preemption, bus resolution.
 - :mod:`repro.sim.process` — processes and wait conditions.
@@ -17,7 +19,7 @@
   object in the simulated system".
 """
 
-from .kernel import Kernel, SimulationError
+from .kernel import Kernel, ScanKernel, SimulationError
 from .signals import Signal
 from .runtime import VArray, VRecord, ops
 from .nameserver import NameServer
@@ -25,6 +27,7 @@ from .nameserver import NameServer
 __all__ = [
     "Kernel",
     "NameServer",
+    "ScanKernel",
     "Signal",
     "SimulationError",
     "VArray",

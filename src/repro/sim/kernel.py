@@ -11,8 +11,34 @@ kernel implements):
 4. execute the resumed processes until each suspends again — their
    assignments project new transactions, possibly at the current time,
    which makes the next cycle a delta cycle.
+
+Scheduling is **activity-driven** (the §5.1 point that preemptive
+signal assignment pushes the scheduling burden onto the kernel):
+
+- an **event calendar** — a ``heapq`` of ``(time, seq, kind, payload)``
+  entries fed by every signal assignment and wait timeout — replaces
+  the full scan over all signals and processes that previously ran
+  *twice* per cycle.  Preemption (inertial or transport) never edits
+  the heap; entries are **lazily deleted**: at pop time an entry is
+  live only while its signal still has a projected transaction due
+  then (``Signal.next_time()``) or its process's timeout is still set
+  for then (``Process.timeout_at``), so preempted transactions and
+  already-satisfied waits cannot produce phantom cycles or phantom
+  timesteps.
+- phase 2 updates only the cycle's **pending-update set** — the
+  signals whose calendar entries came due — instead of scanning every
+  signal for due transactions.
+- phase 3 consults the **fanout index**: each signal keeps the set of
+  processes currently waiting on it (registered at suspension,
+  unregistered at resumption), so only processes sensitive to this
+  cycle's actual events — plus expired timeouts — are visited.
+
+Per-cycle cost is therefore O(active · log heap), not O(design); the
+reference full-scan scheduler survives as :class:`ScanKernel` for
+differential testing and `benchmarks/bench_kernel_scaling.py`.
 """
 
+import heapq
 import time as _time
 
 from ..metrics import NULL_REGISTRY
@@ -24,6 +50,12 @@ from .vhdlio import AssertionFailure, SeverityLogger
 #: Bucket bounds of the deltas-per-timestep histogram: an explicit
 #: zero bucket (timesteps with no delta at all), then log 1-2-5.
 DELTA_BUCKETS = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+#: Calendar entry kinds (third tuple slot).  The strictly increasing
+#: sequence number in slot two makes every entry unique, so heap
+#: comparisons never reach the payload object.
+_SIGNAL = 0
+_TIMEOUT = 1
 
 
 class SimulationError(Exception):
@@ -40,7 +72,7 @@ _KERNEL_ORIGIN = _KernelOrigin()
 
 
 class Kernel:
-    """An event-driven simulator instance."""
+    """An event-driven simulator instance (activity-driven calendar)."""
 
     def __init__(self, max_deltas=10000, logger=None, metrics=None):
         self.now = 0
@@ -56,6 +88,12 @@ class Kernel:
         self.delta_cycles = 0  # cycles that did not advance time
         self.truncated_transactions = 0  # abandoned by run(until=...)
         self.tracers = []  # repro.sim.tracing.Tracer instances
+        # -- the event calendar -------------------------------------
+        self._calendar = []  # heap of (time, seq, kind, payload)
+        self._seq = 0  # entry tie-breaker; also total pushes
+        self.stale_pops = 0  # entries discarded by lazy deletion
+        self.fanout_visits = 0  # waiter visits through the index
+        self.calendar_peak = 0  # high-water heap size
         # -- telemetry (repro.metrics). The registry defaults to the
         # null registry: handles below become shared no-op metrics and
         # the ``_timed`` flag turns off the perf_counter pairs, so the
@@ -84,6 +122,7 @@ class Kernel:
     def signal(self, name, init, resolution=None, image=None):
         sig = Signal(name, init, resolution, image)
         sig.kernel = self
+        sig.index = len(self.signals)  # registration order (determinism)
         self.signals.append(sig)
         return sig
 
@@ -100,31 +139,89 @@ class Kernel:
         proc = Process(name, generator_fn(), sensitivity=sensitivity,
                        decl_line=line)
         proc.kernel = self
+        proc.index = len(self.processes)  # registration order
         self.processes.append(proc)
         return proc
 
     # -- scheduling ----------------------------------------------------------
 
     def note_time(self, t):
-        """Kept for API symmetry; activity times are derived from the
-        projected waveforms and wait timeouts, so preempted
-        transactions can never produce phantom cycles."""
+        """Kept for API symmetry; the calendar is fed by signal
+        assignments (:meth:`RT.assign`) and wait timeouts
+        (:meth:`_execute`), and every entry is re-validated against
+        ``sig.next_time()`` / ``proc.timeout_at`` at pop time, so
+        preempted transactions can never produce phantom cycles."""
 
-    def _next_time(self):
-        best = None
-        for sig in self.signals:
-            t = sig.next_time()
-            if t is not None and (best is None or t < best):
-                best = t
-        for proc in self.processes:
-            if proc.done or proc.wait is None:
-                continue
-            t = proc.timeout_at
-            if t is not None and (best is None or t < best):
-                best = t
-        if best is not None and best < self.now:
-            best = self.now
-        return best
+    def _push(self, t, kind, payload):
+        """Add one calendar entry (a conservative activity hint)."""
+        self._seq = seq = self._seq + 1
+        heap = self._calendar
+        heapq.heappush(heap, (t, seq, kind, payload))
+        if len(heap) > self.calendar_peak:
+            self.calendar_peak = len(heap)
+
+    def _peek_time(self):
+        """Earliest pending activity time, or None when quiescent.
+
+        Pops stale calendar entries (lazy deletion) until the top of
+        the heap is live: a signal entry is live while the signal still
+        has a projected transaction due at-or-before the entry's time;
+        a timeout entry while the process is still waiting with that
+        deadline.  Never earlier than ``now``.
+        """
+        heap = self._calendar
+        pop = heapq.heappop
+        stale = 0
+        tn = None
+        while heap:
+            t, _seq, kind, payload = heap[0]
+            if kind == _SIGNAL:
+                nt = payload.next_time()
+                if nt is not None and nt <= t:
+                    tn = t
+                    break
+            else:
+                if (not payload.done and payload.wait is not None
+                        and payload.timeout_at is not None
+                        and payload.timeout_at <= t):
+                    tn = t
+                    break
+            pop(heap)
+            stale += 1
+        if stale:
+            self.stale_pops += stale
+        if tn is not None and tn < self.now:
+            tn = self.now
+        return tn
+
+    def _pop_due(self, tn):
+        """Phase 1: drain this timestep's calendar entries into the
+        pending-update signal set and the expired-timeout process set,
+        discarding entries stale-ified by preemption or earlier
+        resumption."""
+        heap = self._calendar
+        pop = heapq.heappop
+        pending = set()  # signals with a due transaction
+        expired = set()  # processes whose timeout expired
+        stale = 0
+        while heap and heap[0][0] <= tn:
+            _t, _seq, kind, payload = pop(heap)
+            if kind == _SIGNAL:
+                nt = payload.next_time()
+                if nt is not None and nt <= tn:
+                    pending.add(payload)
+                else:
+                    stale += 1
+            else:
+                if (not payload.done and payload.wait is not None
+                        and payload.timeout_at is not None
+                        and payload.timeout_at <= tn):
+                    expired.add(payload)
+                else:
+                    stale += 1
+        if stale:
+            self.stale_pops += stale
+        return pending, expired
 
     # -- execution -----------------------------------------------------------
 
@@ -162,38 +259,82 @@ class Kernel:
                 % (proc.name, request)
             )
         proc.wait = request
-        if request.timeout is not None:
-            proc.timeout_at = self.now + max(request.timeout, 0)
+        signals = request.signals
+        if signals:
+            # Enter the fanout index: phase 3 will find this process
+            # through the signals it awaits, not by sweeping.
+            for sig in signals:
+                sig.waiters.add(proc)
+        timeout = request.timeout
+        if timeout is not None:
+            t = self.now + (timeout if timeout > 0 else 0)
+            proc.timeout_at = t
+            self._push(t, _TIMEOUT, proc)
         else:
             proc.timeout_at = None
+
+    def _cycle(self, tn):
+        """Execute one simulation cycle at (already validated) ``tn``."""
+        self.now = now = tn
+        self.step = step = self.step + 1
+        self.cycles += 1
+        self._m_cycles.inc()
+
+        pending, expired = self._pop_due(tn)
+
+        # Phase 2: update only the pending signals; collect the
+        # processes their events reach through the fanout index.
+        event_procs = set()
+        if pending:
+            fanout = 0
+            update_candidates = event_procs.update
+            for sig in sorted(pending, key=_signal_order):
+                if sig.update(now, step):
+                    waiters = sig.waiters
+                    if waiters:
+                        fanout += len(waiters)
+                        update_candidates(waiters)
+            if fanout:
+                self.fanout_visits += fanout
+
+        for tracer in self.tracers:
+            tracer.on_cycle(now, step)
+
+        # Phase 3: resume expired timeouts unconditionally and event
+        # receivers whose condition holds — in registration order,
+        # exactly as the reference scan does.
+        resumed = []
+        if expired or event_procs:
+            for proc in sorted(expired | event_procs, key=_process_order):
+                if proc.done:
+                    continue
+                w = proc.wait
+                if w is None:
+                    continue
+                if proc in expired:
+                    resumed.append(proc)
+                    continue
+                cond = w.condition
+                if cond is None or cond():
+                    resumed.append(proc)
+            for proc in resumed:
+                # Leave the fanout index before clearing the wait.
+                w = proc.wait
+                if w is not None:
+                    for sig in w.signals:
+                        sig.waiters.discard(proc)
+                proc.wait = None
+                proc.timeout_at = None
+            for proc in resumed:
+                self._execute(proc)
 
     def cycle(self):
         """Execute one simulation cycle; returns False when quiescent."""
         self.initialize()
-        tn = self._next_time()
+        tn = self._peek_time()
         if tn is None:
             return False
-        self.now = tn
-        self.step += 1
-        self.cycles += 1
-        self._m_cycles.inc()
-
-        for sig in self.signals:
-            nxt = sig.next_time()
-            if nxt is not None and nxt <= self.now:
-                sig.update(self.now, self.step)
-
-        for tracer in self.tracers:
-            tracer.on_cycle(self.now, self.step)
-
-        resumed = [
-            p for p in self.processes if p.should_resume(self.step, self.now)
-        ]
-        for proc in resumed:
-            proc.wait = None
-            proc.timeout_at = None
-        for proc in resumed:
-            self._execute(proc)
+        self._cycle(tn)
         return True
 
     def run(self, until=None, max_cycles=None):
@@ -203,33 +344,42 @@ class Kernel:
         deltas = 0
         last_time = self.now
         executed = 0
+        # Hoist hot attribute lookups out of the loop.
+        peek = self._peek_time
+        one_cycle = self._cycle
+        max_deltas = self.max_deltas
+        m_deltas_inc = self._m_deltas.inc
         while True:
-            tn = self._next_time()
+            tn = peek()
             if tn is None:
                 break
             if until is not None and tn > until:
                 self._note_truncation(until, tn)
                 self.now = until
                 break
-            if not self.cycle():
-                break
+            one_cycle(tn)
             executed += 1
             if max_cycles is not None and executed >= max_cycles:
                 break
-            if self.now == last_time:
+            now = self.now
+            if now == last_time:
                 deltas += 1
                 self.delta_cycles += 1
-                self._m_deltas.inc()
-                if deltas > self.max_deltas:
+                m_deltas_inc()
+                if deltas > max_deltas:
                     raise SimulationError(
                         "more than %d delta cycles at %d fs — "
-                        "unbounded zero-delay loop" % (self.max_deltas, self.now)
+                        "unbounded zero-delay loop" % (max_deltas, now)
                     )
             else:
                 self._m_delta_hist.observe(deltas)
                 deltas = 0
-                last_time = self.now
-        self._m_delta_hist.observe(deltas)
+                last_time = now
+        if executed:
+            # Flush the last timestep's delta count — but only when at
+            # least one cycle actually executed: a quiescent run must
+            # not record a spurious zero observation.
+            self._m_delta_hist.observe(deltas)
         return self.now
 
     def _note_truncation(self, until, next_time):
@@ -260,6 +410,83 @@ class Kernel:
             until, _KERNEL_ORIGIN, fail=False)
 
 
+def _signal_order(sig):
+    """Deterministic phase-2 update order: registration order."""
+    return sig.index
+
+
+def _process_order(proc):
+    """Deterministic phase-3 resume order: registration order."""
+    return proc.index
+
+
+class ScanKernel(Kernel):
+    """The pre-calendar reference scheduler: O(design) full scans.
+
+    Every cycle scans *all* signals and *all* processes — once to find
+    the next activity time, again to update due signals, and a third
+    time (``Process.should_resume``) to pick resumptions.  Kept for
+
+    - **differential testing**: any workload must produce identical
+      cycle/delta counts, waveforms, VCD output, and ``sim_*``
+      telemetry on both schedulers (``tests/sim/test_calendar.py``);
+    - **benchmarking**: ``benchmarks/bench_kernel_scaling.py`` and the
+      ``kernel_scaling`` bench-check scenario measure the calendar
+      kernel's speedup against this baseline on sparse workloads.
+    """
+
+    def _push(self, t, kind, payload):
+        """The scan scheduler derives activity times by scanning; it
+        keeps no calendar (matching the original kernel's cost
+        profile exactly)."""
+
+    def _peek_time(self):
+        best = None
+        for sig in self.signals:
+            t = sig.next_time()
+            if t is not None and (best is None or t < best):
+                best = t
+        for proc in self.processes:
+            if proc.done or proc.wait is None:
+                continue
+            t = proc.timeout_at
+            if t is not None and (best is None or t < best):
+                best = t
+        if best is not None and best < self.now:
+            best = self.now
+        return best
+
+    def _cycle(self, tn):
+        self.now = tn
+        self.step += 1
+        self.cycles += 1
+        self._m_cycles.inc()
+
+        for sig in self.signals:
+            nxt = sig.next_time()
+            if nxt is not None and nxt <= self.now:
+                sig.update(self.now, self.step)
+
+        for tracer in self.tracers:
+            tracer.on_cycle(self.now, self.step)
+
+        resumed = [
+            p for p in self.processes if p.should_resume(self.step, self.now)
+        ]
+        for proc in resumed:
+            w = proc.wait
+            if w is not None:
+                # The shared ``_execute`` maintains the fanout index;
+                # keep it consistent even though this scheduler never
+                # reads it.
+                for sig in w.signals:
+                    sig.waiters.discard(proc)
+            proc.wait = None
+            proc.timeout_at = None
+        for proc in resumed:
+            self._execute(proc)
+
+
 class RT:
     """The per-kernel runtime facade generated code calls.
 
@@ -267,6 +494,8 @@ class RT:
     kernel so driver lookup is implicit, exactly as the paper's
     generated C relied on kernel state.
     """
+
+    __slots__ = ("kernel", "ops")
 
     def __init__(self, kernel):
         self.kernel = kernel
@@ -279,13 +508,21 @@ class RT:
 
     def assign(self, sig, waveform, transport=False):
         """Signal assignment: waveform is ((value, delay_fs), ...)."""
-        proc = self.kernel.current_process
+        kernel = self.kernel
+        proc = kernel.current_process
         if proc is None:
             raise SimulationError(
                 "signal assignment to %r outside any process" % sig.name
             )
         driver = sig.driver_for(proc)
-        driver.schedule(self.kernel.now, waveform, transport)
+        times = driver.schedule(kernel.now, waveform, transport)
+        if times:
+            # Feed the event calendar: one entry per projected
+            # transaction.  Entries made stale by later preemption are
+            # dropped lazily at pop time.
+            push = kernel._push
+            for t in times:
+                push(t, _SIGNAL, sig)
 
     def event(self, sig):
         return 1 if sig.had_event(self.kernel.step) else 0

@@ -49,6 +49,7 @@ class Process:
         "resumes",
         "exec_seconds",
         "decl_line",
+        "index",
     )
 
     def __init__(self, name, generator, sensitivity=None,
@@ -64,9 +65,18 @@ class Process:
         self.resumes = 0
         self.exec_seconds = 0.0
         self.decl_line = decl_line  # declaring source line or None
+        #: Registration order in the owning kernel; the calendar
+        #: scheduler resumes in this order (determinism), matching the
+        #: reference scan's sweep order.  -1 outside any kernel.
+        self.index = -1
 
     def should_resume(self, step, now):
-        """Resume test against the current cycle's events."""
+        """Resume test against the current cycle's events.
+
+        Only the :class:`~repro.sim.kernel.ScanKernel` reference
+        scheduler sweeps with this predicate; the calendar kernel
+        reaches waiting processes through the signal fanout index and
+        the timeout calendar instead."""
         if self.done or self.wait is None:
             return False
         w = self.wait

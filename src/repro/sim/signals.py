@@ -66,11 +66,15 @@ class Driver:
     def advance(self, now):
         """Take due transactions; returns the number that fired (the
         signal becomes *active* when any did — truthiness preserved)."""
+        waveform = self.waveform
         fired = 0
-        while self.waveform and self.waveform[0].time <= now:
-            t = self.waveform.pop(0)
-            self.value = t.value
+        for t in waveform:
+            if t.time > now:
+                break
             fired += 1
+        if fired:
+            self.value = waveform[fired - 1].value
+            del waveform[:fired]
         return fired
 
     def next_time(self):
@@ -94,6 +98,8 @@ class Signal:
         "events",
         "transactions",
         "decl_span",
+        "waiters",
+        "index",
     )
 
     def __init__(self, name, init, resolution=None, image=None):
@@ -113,6 +119,14 @@ class Signal:
         #: ``signal``/``port`` declaration, or None for kernel-level
         #: signals created outside elaboration.
         self.decl_span = None
+        #: The fanout index: processes *currently waiting* on this
+        #: signal.  Maintained by the kernel — entered when a process
+        #: suspends on a wait naming this signal, left when it resumes
+        #: — so an event only visits genuinely sensitive processes.
+        self.waiters = set()
+        #: Registration order in the owning kernel (determinism key
+        #: for the pending-update set); -1 outside any kernel.
+        self.index = -1
 
     def driver_for(self, process):
         """The driver of ``process``, created on first assignment."""
@@ -167,13 +181,20 @@ class Signal:
         return False
 
     def next_time(self):
-        """Earliest projected transaction time over all drivers."""
-        times = [
-            d.next_time()
-            for d in self.drivers.values()
-            if d.next_time() is not None
-        ]
-        return min(times) if times else None
+        """Earliest projected transaction time over all drivers.
+
+        Hot: this is the lazy-deletion validity check the calendar
+        runs on every pop, so it avoids intermediate lists and the
+        double ``Driver.next_time`` call of the naive version.
+        """
+        best = None
+        for d in self.drivers.values():
+            waveform = d.waveform
+            if waveform:
+                t = waveform[0].time
+                if best is None or t < best:
+                    best = t
+        return best
 
     def had_event(self, step):
         """'EVENT during the current simulation cycle."""

@@ -15,16 +15,23 @@ from . import TIME_UNITS
 class Tracer:
     """Records (time, value) changes of a set of signals."""
 
+    __slots__ = ("kernel", "signals", "history", "_watch")
+
     def __init__(self, kernel, signals=None):
         self.kernel = kernel
         self.signals = list(signals) if signals else list(kernel.signals)
         self.history = {sig: [(0, sig.value)] for sig in self.signals}
+        #: Hot-path view: (signal, its history list) pairs, so
+        #: ``on_cycle`` does no dict lookups per traced signal.
+        self._watch = [(sig, self.history[sig]) for sig in self.signals]
         kernel.tracers.append(self)
 
     def on_cycle(self, now, step):
-        for sig in self.signals:
-            if sig.had_event(step):
-                self.history[sig].append((now, sig.value))
+        # Called once per simulation cycle; the event test is an
+        # inlined ``Signal.had_event`` (attribute compare).
+        for sig, changes in self._watch:
+            if sig.event_delta == step:
+                changes.append((now, sig.value))
 
     # -- rendering -------------------------------------------------------------
 

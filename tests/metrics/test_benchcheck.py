@@ -170,15 +170,18 @@ class TestScenarioIntegration:
 
         from repro.sim.kernel import Kernel
 
-        orig = Kernel.cycle
+        # ``run()`` drives the per-cycle hook directly (the calendar
+        # scheduler peeks the heap once per cycle, not twice), so the
+        # slowdown is injected there.
+        orig = Kernel._cycle
 
-        def slowed(self):
+        def slowed(self, tn):
             t0 = time.perf_counter()
             while time.perf_counter() - t0 < 2e-4:
                 pass
-            return orig(self)
+            return orig(self, tn)
 
-        monkeypatch.setattr(Kernel, "cycle", slowed)
+        monkeypatch.setattr(Kernel, "_cycle", slowed)
         slow = benchcheck.scenario_simulation()
         rows = compare(baseline, slow["values"], tolerance=0.5)
         by_key = _rows_by_key(rows)
