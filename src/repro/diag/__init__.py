@@ -22,6 +22,7 @@ from .diagnostic import (
     CODE_EVAL,
     CODE_INTERNAL,
     CODE_LEX,
+    CODE_LIB,
     CODE_PARSE,
     CODE_SEM,
     ERROR,
@@ -52,6 +53,7 @@ __all__ = [
     "CODE_EVAL",
     "CODE_INTERNAL",
     "CODE_LEX",
+    "CODE_LIB",
     "CODE_PARSE",
     "CODE_SEM",
     "Diagnostic",

@@ -37,6 +37,7 @@ CODE_CIRC = "CIRC001"        # circular attribute dependency
 CODE_EVAL = "EVAL001"        # a semantic rule raised
 CODE_INTERNAL = "INT001"     # internal compiler error
 CODE_BUILD = "BUILD001"      # build-driver level problem
+CODE_LIB = "LIB001"          # corrupt library artifact quarantined
 
 #: Human-readable one-liners for the SARIF rule table.
 CODE_DESCRIPTIONS = {
@@ -47,6 +48,7 @@ CODE_DESCRIPTIONS = {
     CODE_EVAL: "a semantic rule raised during attribute evaluation",
     CODE_INTERNAL: "internal compiler error",
     CODE_BUILD: "incremental build driver error",
+    CODE_LIB: "corrupt design-library artifact moved to quarantine",
 }
 
 

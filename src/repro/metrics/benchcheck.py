@@ -450,11 +450,110 @@ def scenario_kernel_scaling():
                     checks=checks, timings=timings, metrics=metrics)
 
 
+_SERVE_SESSIONS = 3
+_SERVE_SIMS_PER_SESSION = 3
+_SERVE_UNTIL_FS = 250 * 10**6  # 250 ns of the gate_top pipeline
+
+
+def _serve_request(port, method, path, body=None):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def scenario_serve():
+    """Boot the ``repro serve`` daemon on a private port, prime a few
+    sessions with the simulation pipeline, then gate on a concurrent
+    burst of ``/sim`` requests: per-request results are deterministic
+    (``exact`` cycle counters, zero failures) and the burst cost is
+    normalized (``max``)."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..serve import BackgroundServer
+
+    sids = ["bench%d" % i for i in range(_SERVE_SESSIONS)]
+    burst = [(sid, n) for sid in sids
+             for n in range(_SERVE_SIMS_PER_SESSION)]
+
+    with BackgroundServer(workers=2, batch_window=0.005) as server:
+        port = server.port
+        for sid in sids:
+            status, data = _serve_request(
+                port, "POST", "/compile",
+                {"session": sid,
+                 "files": [{"name": "pipe.vhd",
+                            "text": _SIM_SOURCE}]})
+            if status != 200 or not data.get("ok"):
+                raise RuntimeError("bench-check serve prime failed: "
+                                   "%s" % (data,))
+
+        def measure():
+            latencies = []
+
+            def one(job):
+                sid, _ = job
+                t0 = time.perf_counter()
+                status, data = _serve_request(
+                    port, "POST", "/sim",
+                    {"session": sid, "top": "gate_top",
+                     "until": "%dfs" % _SERVE_UNTIL_FS})
+                latencies.append(time.perf_counter() - t0)
+                return status, data
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(one, burst))
+            return results, sorted(latencies)
+
+        ratio, best, calib, (results, latencies) = normalized_cost(
+            measure, repeats=3)
+
+    failures = sum(1 for status, data in results
+                   if status != 200 or not data.get("ok"))
+    cycles = sorted({data.get("cycles") for _, data in results})
+    n = len(latencies)
+    p50 = latencies[n // 2]
+    p95 = latencies[min(n - 1, (n * 95) // 100)]
+    values = {
+        "sessions": _SERVE_SESSIONS,
+        "requests": len(burst),
+        "failures": failures,
+        # Every request simulates the same design to the same time,
+        # so the kernels must agree bit-for-bit across sessions.
+        "distinct_cycle_counts": len(cycles),
+        "cycles": cycles[0] if cycles else 0,
+        "normalized_cost": round(ratio, 4),
+    }
+    checks = {
+        "sessions": "exact",
+        "requests": "exact",
+        "failures": "exact",
+        "distinct_cycle_counts": "exact",
+        "cycles": "exact",
+        "normalized_cost": "max",
+    }
+    timings = {
+        "run_s": round(best, 6),
+        "calibration_s": round(calib, 6),
+        "rps": round(len(burst) / best, 1),
+        "p50_ms": round(p50 * 1e3, 3),
+        "p95_ms": round(p95 * 1e3, 3),
+    }
+    return envelope("bench", bench="serve", values=values,
+                    checks=checks, timings=timings, metrics={})
+
+
 SCENARIOS = {
     "simulation": scenario_simulation,
     "incremental": scenario_incremental,
     "lint": scenario_lint,
     "kernel_scaling": scenario_kernel_scaling,
+    "serve": scenario_serve,
 }
 
 

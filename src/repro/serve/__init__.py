@@ -1,0 +1,40 @@
+"""``repro serve`` — a long-lived concurrent compile-and-simulate
+service over the design-library machinery.
+
+The paper's virtual machine already separates compilation from a
+persistent library layer with a name server (§2); this package
+productionizes that separation into a daemon: an asyncio HTTP/JSON
+front end (:mod:`repro.serve.http`, :mod:`repro.serve.app`) holding
+hot :class:`~repro.vhdl.library.LibraryManager` state, per-client work
+libraries layered over a shared read-only reference library
+(:mod:`repro.serve.session`), and a job layer that batches compatible
+compile requests into the existing :mod:`repro.build` topological fork
+scheduler (:mod:`repro.serve.jobs`).  The whole thing is stdlib-only,
+like the rest of the reproduction.
+"""
+
+from .app import BackgroundServer, ServeApp, ServeServer
+from .http import HTTPError, HTTPServer, Request, Response
+from .jobs import JobError, JobRunner
+from .session import (
+    SessionError,
+    SessionManager,
+    Workspace,
+    resolve_reference,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "HTTPError",
+    "HTTPServer",
+    "JobError",
+    "JobRunner",
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeServer",
+    "SessionError",
+    "SessionManager",
+    "Workspace",
+    "resolve_reference",
+]

@@ -1,0 +1,365 @@
+"""The service's job layer: batching, execution, and draining.
+
+Compile requests are not executed one-by-one.  Each arriving compile
+job parks in a per-session pending list for one *batch window* (a few
+milliseconds); everything that accumulated is then merged into a
+single :class:`repro.build.IncrementalBuilder` run — the existing
+topological fork scheduler compiles the union of all requested files
+in dependency order, possibly in parallel workers — and the one
+:class:`~repro.build.driver.BuildReport` is sliced back per request.
+Ten clients posting the same package therefore cost one AG evaluation,
+exactly like ten files in one ``repro build`` invocation.
+
+Simulation and lint jobs are read-only: they run directly on the
+executor against a pinned library snapshot, concurrent with each other
+and with at most one writer per session (the workspace lock).
+
+Every job resolves to a plain JSON-able dict carrying the request id,
+per-job diagnostics as JSON lines (:func:`repro.diag.render_jsonl` —
+the same records ``--diag-format json`` prints), and queue/run timing.
+"""
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..diag import Diagnostic, render_jsonl
+from ..metrics import NULL_REGISTRY
+
+#: How long a compile job waits for batch-mates before running.
+BATCH_WINDOW_S = 0.01
+
+
+class JobError(Exception):
+    """A job could not be accepted (not: a job that ran and failed)."""
+
+
+def _sim_lines(kernel, names, end_fs):
+    """The exact report lines the ``repro simulate`` CLI prints."""
+    from ..sim.tracing import format_fs
+
+    lines = ["simulation stopped at %s (%d cycles)"
+             % (format_fs(end_fs), kernel.cycles)]
+    for path, sig in names.signals():
+        lines.append("  %-30s = %s" % (path, sig.image(sig.value)))
+    return lines
+
+
+class _CompileJob:
+    """One pending compile request inside a batch."""
+
+    __slots__ = ("id", "names", "paths", "force", "future",
+                 "submitted")
+
+    def __init__(self, job_id, names, paths, force, future):
+        self.id = job_id
+        self.names = names   # client-facing file names
+        self.paths = paths   # absolute paths inside the workspace
+        self.force = force
+        self.future = future
+        self.submitted = time.perf_counter()
+
+
+class JobRunner:
+    """Executes jobs on a worker pool with per-session batching."""
+
+    def __init__(self, workers=2, metrics=NULL_REGISTRY,
+                 batch_window=BATCH_WINDOW_S):
+        self.workers = max(1, int(workers or 1))
+        self.batch_window = batch_window
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(2, self.workers),
+            thread_name_prefix="repro-serve")
+        self.metrics = metrics
+        self._m_jobs = metrics.counter(
+            "serve_jobs_total", "jobs executed by kind")
+        self._m_batches = metrics.counter(
+            "serve_batches_total",
+            "compile batches handed to the build scheduler")
+        self._m_batch_size = metrics.histogram(
+            "serve_batch_files",
+            "source files per merged compile batch")
+        self._m_queue_s = metrics.histogram(
+            "serve_job_queue_seconds",
+            "time a job waited before running",
+            buckets=_seconds_buckets())
+        self._seq = 0
+        self._pending = {}   # session id -> [_CompileJob]
+        self._drainers = {}  # session id -> asyncio.Task
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def next_id(self):
+        self._seq += 1
+        return self._seq
+
+    def _job_started(self):
+        self._active += 1
+        self._idle.clear()
+
+    def _job_finished(self):
+        self._active -= 1
+        if self._active <= 0:
+            self._idle.set()
+
+    async def drain(self, timeout=60.0):
+        """Wait until every accepted job has resolved."""
+        # Pending batches may still be inside their window; kick them.
+        for sid in list(self._drainers):
+            task = self._drainers.get(sid)
+            if task is not None and not task.done():
+                await task
+        await asyncio.wait_for(self._idle.wait(), timeout=timeout)
+
+    def close(self):
+        self.executor.shutdown(wait=True)
+
+    @property
+    def active_jobs(self):
+        return self._active
+
+    # -- compile (batched) -------------------------------------------------
+
+    async def compile(self, workspace, files, force=False):
+        """Queue one compile request; resolves when its batch ran."""
+        loop = asyncio.get_running_loop()
+        paths = workspace.write_sources(files)
+        names = [entry["name"] for entry in files]
+        job = _CompileJob(self.next_id(), names, paths, force,
+                          loop.create_future())
+        self._job_started()
+        self._pending.setdefault(workspace.id, []).append(job)
+        drainer = self._drainers.get(workspace.id)
+        if drainer is None or drainer.done():
+            self._drainers[workspace.id] = asyncio.ensure_future(
+                self._drain_session(workspace))
+        return await job.future
+
+    async def _drain_session(self, workspace):
+        """Run one merged batch for everything that queued up."""
+        await asyncio.sleep(self.batch_window)
+        jobs = self._pending.pop(workspace.id, [])
+        if not jobs:
+            return
+        loop = asyncio.get_running_loop()
+        if workspace.lock is None:
+            workspace.lock = asyncio.Lock()
+        batch_paths = []
+        force = False
+        for job in jobs:
+            force = force or job.force
+            for path in job.paths:
+                if path not in batch_paths:
+                    batch_paths.append(path)
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(batch_paths))
+        started = time.perf_counter()
+        try:
+            async with workspace.lock:
+                report = await loop.run_in_executor(
+                    self.executor, self._run_build,
+                    workspace, batch_paths, force)
+        except Exception as exc:
+            for job in jobs:
+                if not job.future.done():
+                    job.future.set_exception(
+                        JobError("build failed: %s" % exc))
+                self._m_jobs.labels(kind="compile").inc()
+                self._job_finished()
+            return
+        run_s = time.perf_counter() - started
+        workspace.invalidate()
+        for job in jobs:
+            self._m_queue_s.observe(max(0.0,
+                                        started - job.submitted))
+            result = self._slice_report(workspace, job, report,
+                                        run_s, len(batch_paths),
+                                        len(jobs))
+            if not job.future.done():
+                job.future.set_result(result)
+            self._m_jobs.labels(kind="compile").inc()
+            self._job_finished()
+
+    def _run_build(self, workspace, paths, force):
+        builder = workspace.builder(jobs=self.workers)
+        return builder.build(paths, force=force)
+
+    def _slice_report(self, workspace, job, report, run_s,
+                      batch_files, batch_jobs):
+        """This job's per-file view of the merged batch report."""
+        results = []
+        diagnostics = []
+        ok = True
+        for name, path in zip(job.names, job.paths):
+            action = report.actions.get(path, "skipped")
+            if action in ("failed", "skipped"):
+                ok = False
+            results.append({
+                "path": name,
+                "action": action,
+                "reason": report.reasons.get(path, ""),
+                "messages": list(report.messages.get(path, ())),
+                "units": [list(u)
+                          for u in report.units.get(path, ())],
+            })
+            for d in report.diagnostics.get(path, ()):
+                diagnostics.append(Diagnostic.from_dict(d))
+        return {
+            "id": job.id,
+            "kind": "compile",
+            "session": workspace.id,
+            "ok": ok,
+            "results": results,
+            "stats": dict(report.stats),
+            "diagnostics_jsonl": render_jsonl(diagnostics),
+            "timing": {
+                "queued_s": round(
+                    max(0.0, time.perf_counter() - job.submitted
+                        - run_s), 6),
+                "run_s": round(run_s, 6),
+                "batch_files": batch_files,
+                "batch_jobs": batch_jobs,
+            },
+        }
+
+    # -- simulate ----------------------------------------------------------
+
+    async def simulate(self, workspace, top, arch=None, until_fs=None,
+                       lib=None):
+        """Elaborate + run against a pinned snapshot of the session
+        library; concurrent with other readers and with writers."""
+        loop = asyncio.get_running_loop()
+        job_id = self.next_id()
+        self._job_started()
+        submitted = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(
+                self.executor, self._run_sim, workspace, top, arch,
+                until_fs, lib)
+        finally:
+            self._m_jobs.labels(kind="sim").inc()
+            self._job_finished()
+        self._m_queue_s.observe(0.0)
+        result["id"] = job_id
+        result["kind"] = "sim"
+        result["session"] = workspace.id
+        result["timing"] = {
+            "run_s": round(time.perf_counter() - submitted, 6),
+        }
+        return result
+
+    def _run_sim(self, workspace, top, arch, until_fs, lib):
+        from ..sim import Kernel, SimulationError
+        from ..vhdl.elaborate import ElaborationError, Elaborator
+
+        snapshot = workspace.snapshot()
+        kernel = Kernel()
+        try:
+            elab = Elaborator(snapshot, kernel=kernel)
+            sim = elab.elaborate(top, arch_name=arch, lib=lib)
+            end = sim.run(until_fs=until_fs)
+        except (ElaborationError, SimulationError) as exc:
+            return {
+                "ok": False,
+                "error": "%s: %s" % (type(exc).__name__, exc),
+                "library_version": snapshot.version,
+                "diagnostics_jsonl": render_jsonl(
+                    snapshot.quarantine_diagnostics()),
+            }
+        lines = _sim_lines(kernel, sim.names, end)
+        return {
+            "ok": True,
+            "top": top,
+            "end_fs": end,
+            "cycles": kernel.cycles,
+            "delta_cycles": kernel.delta_cycles,
+            "signals": [
+                [path, sig.image(sig.value)]
+                for path, sig in sim.names.signals()
+            ],
+            "report_lines": lines,
+            "library_version": snapshot.version,
+            "diagnostics_jsonl": render_jsonl(
+                snapshot.quarantine_diagnostics()),
+        }
+
+    # -- lint --------------------------------------------------------------
+
+    async def lint(self, workspace, files=None, select=(), ignore=()):
+        """Compile ``files`` in memory and lint (no library writes),
+        or lint the session library when no files are given."""
+        loop = asyncio.get_running_loop()
+        job_id = self.next_id()
+        self._job_started()
+        submitted = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(
+                self.executor, self._run_lint, workspace, files,
+                tuple(select), tuple(ignore))
+        finally:
+            self._m_jobs.labels(kind="lint").inc()
+            self._job_finished()
+        result["id"] = job_id
+        result["kind"] = "lint"
+        result["session"] = workspace.id
+        result["timing"] = {
+            "run_s": round(time.perf_counter() - submitted, 6),
+        }
+        return result
+
+    def _run_lint(self, workspace, files, select, ignore):
+        from ..analysis import LintEngine
+        from ..diag import DiagnosticEngine
+        from ..vhdl.compiler import CompileError, Compiler
+        from ..vhdl.library import LibraryManager
+
+        if files:
+            # The CLI contract: lint compiles in memory and never
+            # touches the on-disk library.
+            library = LibraryManager(root=None, work="work")
+            compiler = Compiler(library=library, work="work",
+                                strict=False)
+            for entry in files:
+                name = entry.get("name", "<input>")
+                try:
+                    result = compiler.compile(entry.get("text", ""),
+                                              filename=name)
+                except CompileError as exc:
+                    return {"ok": False,
+                            "error": "%s: %d compile error(s)"
+                                     % (name, len(exc.messages)),
+                            "messages": list(exc.messages)}
+                if not result.ok:
+                    return {"ok": False,
+                            "error": "%s: %d compile error(s)"
+                                     % (name, len(result.messages)),
+                            "messages": list(result.messages)}
+            engine = LintEngine(library=library, work="work",
+                                select=list(select),
+                                ignore=list(ignore))
+            findings = engine.lint_library()
+        else:
+            snapshot = workspace.snapshot()
+            engine = LintEngine(library=snapshot, work="work",
+                                select=list(select),
+                                ignore=list(ignore))
+            findings = engine.lint_library()
+        diag_engine = DiagnosticEngine()
+        for diag in findings:
+            diag_engine.emit(diag)
+        ordered = diag_engine.sorted()
+        return {
+            "ok": not ordered,
+            "findings": len(ordered),
+            "findings_jsonl": render_jsonl(ordered),
+            "summary": diag_engine.summary(),
+        }
+
+
+def _seconds_buckets():
+    from ..metrics.registry import SECONDS_BUCKETS
+
+    return SECONDS_BUCKETS

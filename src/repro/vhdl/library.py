@@ -15,11 +15,24 @@ separate-compilation example exercise exactly this.
 Units are stored as VIF payloads (plus generated Python/C text); the
 shared :class:`repro.vif.io.VIFReader` resolves foreign references so
 a declaration read from two different units is one node object.
+
+Concurrency model (the ``repro serve`` substrate): the in-memory
+contents live in one immutable :class:`_State` (units dict, compile
+order, version) that is *published* by plain attribute assignment.
+Readers capture the current state once per query — or pin one with
+:meth:`LibraryManager.snapshot` for a whole job — and therefore never
+observe a half-applied commit.  Writers serialize on a single commit
+lock and write disk artifacts (atomic tempfile + ``os.replace``)
+*before* publishing, so a racing reader sees either the old consistent
+library or the new one, in memory and on disk alike.  ``read_only``
+managers additionally refuse registration and never move quarantined
+files they do not own.
 """
 
 import json
 import os
 import tempfile
+import threading
 
 from ..vif.core import VIFError
 from ..vif.io import VIFReader, VIFWriter, dump_unit, unit_depends
@@ -67,33 +80,148 @@ class LibraryError(Exception):
     """Missing library/unit or an attempt to update a reference library."""
 
 
-class LibraryManager:
-    """A set of design libraries (in memory, optionally disk-backed)."""
+class _State:
+    """One immutable published version of the in-memory library.
 
-    def __init__(self, root=None, work="work", reference_libs=()):
+    ``units`` and ``order`` are never mutated after publication; a
+    commit builds replacements and swaps the whole object in a single
+    attribute store, which is atomic under the GIL."""
+
+    __slots__ = ("units", "order", "version")
+
+    def __init__(self, units, order, version):
+        self.units = units    # {(lib, key): unit node}
+        self.order = order    # ((lib, key), ...) registration order
+        self.version = version
+
+
+class _LibraryQueries:
+    """Query surface shared by the live manager and pinned snapshots.
+
+    Every method captures ``self._view()`` exactly once, so a single
+    query is internally consistent even while a writer publishes."""
+
+    def _view(self):
+        raise NotImplementedError
+
+    def find_unit(self, lib, name):
+        """A primary unit by simple name (entity/package/config)."""
+        return self._view().units.get((lib, name))
+
+    def find_architecture(self, lib, entity_name, arch_name):
+        return self._view().units.get(
+            (lib, "%s(%s)" % (arch_name, entity_name)))
+
+    def find_package_body(self, lib, pkg_name):
+        return self._view().units.get((lib, "body(%s)" % pkg_name))
+
+    def units_of(self, lib):
+        """(key, node) pairs of one library, in compile order."""
+        state = self._view()
+        return [
+            (key, state.units[(l, key)])
+            for l, key in state.order
+            if l == lib
+        ]
+
+    def latest_architecture(self, lib, entity_name):
+        """The §3.3 default rule: latest *compiled* architecture."""
+        state = self._view()
+        suffix = "(%s)" % entity_name
+        latest = None
+        for l, key in state.order:
+            if l == lib and key.endswith(suffix):
+                latest = state.units[(l, key)]
+        return latest
+
+    def architectures_of(self, lib, entity_name):
+        state = self._view()
+        suffix = "(%s)" % entity_name
+        return [
+            state.units[(l, key)]
+            for l, key in state.order
+            if l == lib and key.endswith(suffix)
+        ]
+
+    def configurations_for(self, lib, entity_name):
+        """Configuration units targeting an entity, in compile order."""
+        state = self._view()
+        out = []
+        for l, key in state.order:
+            node = state.units[(l, key)]
+            if l == lib and entry_kind(node) == "configuration" \
+                    and node.entity_name == entity_name:
+                out.append(node)
+        return out
+
+    @property
+    def compile_order(self):
+        """The registration order, as a fresh list (callers may slice
+        and index; they must not try to mutate the library through
+        it)."""
+        return list(self._view().order)
+
+    @property
+    def _units(self):
+        """The published units mapping (read-only by convention)."""
+        return self._view().units
+
+
+class LibraryManager(_LibraryQueries):
+    """A set of design libraries (in memory, optionally disk-backed).
+
+    ``read_only=True`` opens the root purely for reading: registration
+    raises :class:`LibraryError` and corrupt artifacts are recorded in
+    ``quarantined`` but never renamed (the files belong to the
+    writer).  Concurrent reader jobs in one process should pin a
+    :meth:`snapshot` instead of re-querying the live manager when they
+    need one frozen view across many lookups.
+    """
+
+    def __init__(self, root=None, work="work", reference_libs=(),
+                 read_only=False):
         self.root = root
         self.work = work
-        self._units = {}      # (lib, key) -> unit node
-        self._payloads = {}   # (lib, key) -> VIF payload
+        self.read_only = bool(read_only)
+        self._write_lock = threading.RLock()
+        self._payloads = {}   # (lib, key) -> VIF payload (append-only)
         self._libraries = {work, "std"}
         self._libraries.update(reference_libs)
         self._read_only = set(reference_libs) | {"std"}
-        self.compile_order = []  # (lib, key) in registration order
         #: Corrupt on-disk artifacts moved aside at load time:
-        #: [(path, reason), ...] — inspect instead of crashing.
+        #: [(path, reason), ...] — inspect (or render via
+        #: :meth:`quarantine_diagnostics`) instead of crashing.
         self.quarantined = []
         self.reader = VIFReader(self._load_payload)
         std = standard()
-        self._units[("std", "standard")] = std.package
         self._payloads[("std", "standard")] = std.payload
         # Foreign references into STANDARD must resolve to the
         # singleton's node objects (identity-based typing), not to
         # copies materialized from the payload.
         self.reader.seed("std", "standard", std.node_table,
                          {"unit": std.package})
-        self.compile_order.append(("std", "standard"))
+        self._state = _State({("std", "standard"): std.package},
+                             (("std", "standard"),), 0)
         if root is not None:
             self._load_root()
+
+    # -- state publication -------------------------------------------------
+
+    def _view(self):
+        return self._state
+
+    def _publish(self, units, order):
+        self._state = _State(units, tuple(order),
+                             self._state.version + 1)
+
+    @property
+    def version(self):
+        """Monotonic commit counter of the published state."""
+        return self._state.version
+
+    def snapshot(self):
+        """A read-only view pinned to the current published state."""
+        return LibrarySnapshot(self)
 
     # -- queries ---------------------------------------------------------------
 
@@ -105,60 +233,22 @@ class LibraryManager:
         if read_only:
             self._read_only.add(name)
 
-    def find_unit(self, lib, name):
-        """A primary unit by simple name (entity/package/config)."""
-        return self._units.get((lib, name))
-
-    def find_architecture(self, lib, entity_name, arch_name):
-        return self._units.get(
-            (lib, "%s(%s)" % (arch_name, entity_name)))
-
-    def find_package_body(self, lib, pkg_name):
-        return self._units.get((lib, "body(%s)" % pkg_name))
-
-    def units_of(self, lib):
-        """(key, node) pairs of one library, in compile order."""
-        return [
-            (key, self._units[(l, key)])
-            for l, key in self.compile_order
-            if l == lib
-        ]
-
-    def latest_architecture(self, lib, entity_name):
-        """The §3.3 default rule: latest *compiled* architecture."""
-        suffix = "(%s)" % entity_name
-        latest = None
-        for l, key in self.compile_order:
-            if l == lib and key.endswith(suffix):
-                latest = self._units[(l, key)]
-        return latest
-
-    def architectures_of(self, lib, entity_name):
-        suffix = "(%s)" % entity_name
-        return [
-            self._units[(l, key)]
-            for l, key in self.compile_order
-            if l == lib and key.endswith(suffix)
-        ]
-
-    def configurations_for(self, lib, entity_name):
-        """Configuration units targeting an entity, in compile order."""
-        out = []
-        for l, key in self.compile_order:
-            node = self._units[(l, key)]
-            if l == lib and entry_kind(node) == "configuration" \
-                    and node.entity_name == entity_name:
-                out.append(node)
-        return out
-
     # -- registration ------------------------------------------------------------
 
     def register_unit(self, lib, node):
         """Place a successfully compiled unit into a library.
 
         Recompiling a unit replaces it; compile order is extended, so
-        the latest-architecture default tracks usage history.
+        the latest-architecture default tracks usage history.  The
+        commit is single-writer (serialized on the manager's commit
+        lock) and publishes in-memory state only after the disk
+        artifacts landed, so concurrent snapshot readers see either
+        the whole unit or none of it.
         """
+        if self.read_only:
+            raise LibraryError(
+                "library manager opened read-only; cannot register "
+                "%r into %r" % (unit_key(node), lib))
         if lib in self._read_only:
             raise LibraryError(
                 "library %r is a reference library and cannot be "
@@ -168,11 +258,37 @@ class LibraryManager:
         key = unit_key(node)
         writer = VIFWriter(lib, key)
         payload = writer.write({"unit": node})
-        self._units[(lib, key)] = node
-        self._payloads[(lib, key)] = payload
-        self.compile_order.append((lib, key))
-        if self.root is not None:
-            self._store(lib, key, node, payload)
+        with self._write_lock:
+            if self.root is not None:
+                self._store(lib, key, node, payload)
+            self._payloads[(lib, key)] = payload
+            state = self._state
+            units = dict(state.units)
+            units[(lib, key)] = node
+            self._publish(units, state.order + ((lib, key),))
+        return key
+
+    def install_unit(self, lib, key, node, payload=None):
+        """Adopt an already-compiled unit — e.g. a stored VIF payload
+        rehydrated in a fresh session — without re-running the writer
+        or touching the disk.  Same commit discipline as
+        :meth:`register_unit` (single writer, whole-state publish)."""
+        if self.read_only:
+            raise LibraryError(
+                "library manager opened read-only; cannot install "
+                "%r into %r" % (key, lib))
+        if lib in self._read_only:
+            raise LibraryError(
+                "library %r is a reference library and cannot be "
+                "updated" % lib)
+        with self._write_lock:
+            self._libraries.add(lib)
+            if payload is not None:
+                self._payloads[(lib, key)] = payload
+            state = self._state
+            units = dict(state.units)
+            units[(lib, key)] = node
+            self._publish(units, state.order + ((lib, key),))
         return key
 
     # -- VIF access -----------------------------------------------------------------
@@ -193,13 +309,32 @@ class LibraryManager:
         return payload
 
     def _quarantine(self, path, reason):
-        """Move a corrupt artifact aside (``*.corrupt``) so the unit
-        reads as missing instead of raising at load time."""
+        """Record a corrupt artifact and (when this manager owns the
+        root) move it aside as ``*.corrupt`` so the unit reads as
+        missing instead of raising at load time.  Read-only managers
+        only record: the writer owns the files, and yanking one from
+        under it would turn *our* race into *its* corruption."""
         self.quarantined.append((path, reason))
+        if self.read_only:
+            return
         try:
             os.replace(path, path + ".corrupt")
         except OSError:
             pass
+
+    def quarantine_diagnostics(self):
+        """The quarantine log as structured diagnostics (code LIB001),
+        ready for the same renderers as compile diagnostics."""
+        from ..diag import Diagnostic, SourceSpan
+        from ..diag.diagnostic import CODE_LIB, WARNING
+
+        return [
+            Diagnostic(CODE_LIB, WARNING,
+                       "corrupt library artifact quarantined: %s"
+                       % reason,
+                       span=SourceSpan(file=path))
+            for path, reason in self.quarantined
+        ]
 
     def payload_of(self, lib, key):
         return self._load_payload(lib, key)
@@ -235,11 +370,14 @@ class LibraryManager:
         ``recorded`` (STANDARD, reference units) keep their relative
         position at the front."""
         recorded = [tuple(e) for e in recorded]
-        present = set(self.compile_order)
-        recorded_set = set(recorded)
-        self.compile_order = [
-            e for e in self.compile_order if e not in recorded_set
-        ] + [e for e in recorded if e in present]
+        with self._write_lock:
+            state = self._state
+            present = set(state.order)
+            recorded_set = set(recorded)
+            order = [
+                e for e in state.order if e not in recorded_set
+            ] + [e for e in recorded if e in present]
+            self._publish(state.units, order)
 
     # -- disk persistence ----------------------------------------------------------
 
@@ -260,6 +398,9 @@ class LibraryManager:
     def _load_root(self):
         if not os.path.isdir(self.root):
             return
+        state = self._state
+        units = dict(state.units)
+        order = list(state.order)
         for lib in sorted(os.listdir(self.root)):
             lib_dir = os.path.join(self.root, lib)
             if not os.path.isdir(lib_dir):
@@ -280,9 +421,69 @@ class LibraryManager:
                         self._quarantine(path, str(exc))
                     continue
                 node = roots["unit"]
-                self._units[(lib, key)] = node
-                self.compile_order.append((lib, key))
+                units[(lib, key)] = node
+                order.append((lib, key))
                 py_path = self._path(lib, key, "py")
                 if os.path.exists(py_path):
-                    with open(py_path) as f:
-                        node.py_source = f.read()
+                    try:
+                        with open(py_path) as f:
+                            node.py_source = f.read()
+                    except OSError:
+                        pass
+        self._publish(units, order)
+
+
+class LibrarySnapshot(_LibraryQueries):
+    """A read-only library view pinned to one published state.
+
+    All structural queries answer from the captured state even while
+    the owning manager commits new units.  Payload access delegates to
+    the owner — its payload cache is append-only, and a payload, once
+    written for a (lib, key), is only ever replaced by a re-commit of
+    the same unit."""
+
+    read_only = True
+
+    def __init__(self, owner):
+        self._owner = owner
+        self._snap = owner._view()
+        self.root = owner.root
+        self.work = owner.work
+        self.reader = owner.reader
+        self.quarantined = owner.quarantined
+
+    def _view(self):
+        return self._snap
+
+    @property
+    def version(self):
+        return self._snap.version
+
+    def snapshot(self):
+        return self
+
+    def has_library(self, name):
+        return self._owner.has_library(name)
+
+    def register_unit(self, lib, node):
+        raise LibraryError(
+            "cannot register units through a library snapshot")
+
+    def add_library(self, name, read_only=False):
+        raise LibraryError(
+            "cannot add libraries through a library snapshot")
+
+    def payload_of(self, lib, key):
+        return self._owner.payload_of(lib, key)
+
+    def dump_vif(self, lib, key):
+        return self._owner.dump_vif(lib, key)
+
+    def read_foreign(self, lib, key):
+        return self._owner.read_foreign(lib, key)
+
+    def depends_of(self, lib, key):
+        return self._owner.depends_of(lib, key)
+
+    def quarantine_diagnostics(self):
+        return self._owner.quarantine_diagnostics()

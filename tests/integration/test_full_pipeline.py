@@ -119,8 +119,7 @@ class TestPipeline:
             fresh._payloads[(lib, key)] = payload
             fresh._libraries.add(lib)
             node = fresh.reader.read_unit(lib, key)["unit"]
-            fresh._units[(lib, key)] = node
-            fresh.compile_order.append((lib, key))
+            fresh.install_unit(lib, key, node)
         sim = Elaborator(fresh).elaborate("harness")
         sim.run(until_fs=5 * NS)
         assert sim.value("y") == 42
