@@ -20,10 +20,8 @@ completion order, so §3.3's usage-history-dependent
 latest-architecture default stays reproducible.
 """
 
-import multiprocessing
-import os
-
 from .fingerprint import interface_digest
+from .pool import ForkPool, fork_available
 
 #: Token kinds that terminate a selected-name path.
 _NAME_END = {"DOT"}
@@ -186,83 +184,58 @@ def compile_file_task(root, work, reference_libs, path):
 
 
 def _fork_available():
-    return (
-        os.name == "posix"
-        and "fork" in multiprocessing.get_all_start_methods()
-    )
+    # Kept as an alias: diagnostics tests (and older callers) import
+    # the gate from here; the implementation lives with the pool.
+    return fork_available()
+
+
+def _worker_failure(args, exc):
+    """Substitute result for a crashed build worker: report, go on."""
+    path = args[-1]
+    return {
+        "path": path,
+        "ok": False,
+        "messages": ["internal: build worker failed: %s" % exc],
+        "units": [],
+        "source_lines": 0,
+        "timings": {},
+        "diagnostics": [],
+        "trace": [],
+        "ag_stats": {},
+    }
 
 
 class Scheduler:
-    """Runs compile batches serially or on a fork-based worker pool."""
+    """Runs compile batches serially or on a fork-based worker pool.
+
+    The pool itself — warmed ``fork`` workers, ordered results,
+    inline degradation — is the shared :class:`~repro.build.pool.ForkPool`;
+    this class only binds it to :func:`compile_file_task`.
+    """
 
     def __init__(self, root, work="work", reference_libs=(), jobs=1):
         self.root = root
         self.work = work
         self.reference_libs = tuple(reference_libs)
-        self.jobs = max(1, int(jobs or 1))
-        self._executor = None
+        self.pool = ForkPool(jobs=jobs, on_error=_worker_failure)
+
+    @property
+    def jobs(self):
+        return self.pool.jobs
 
     @property
     def parallel(self):
-        return self.jobs > 1 and _fork_available()
+        return self.pool.parallel
 
     def run_batch(self, paths):
         """Compile ``paths`` (one batch); results in input order."""
-        if not paths:
-            return []
-        if len(paths) == 1 or not self.parallel:
-            return [
-                compile_file_task(
-                    self.root, self.work, self.reference_libs, p
-                )
-                for p in paths
-            ]
-        executor = self._ensure_executor()
-        futures = [
-            executor.submit(
-                compile_file_task,
-                self.root, self.work, self.reference_libs, p,
-            )
-            for p in paths
-        ]
-        results = []
-        for path, future in zip(paths, futures):
-            try:
-                results.append(future.result())
-            except Exception as exc:  # worker crashed: report, go on
-                results.append({
-                    "path": path,
-                    "ok": False,
-                    "messages": ["internal: build worker failed: %s"
-                                 % exc],
-                    "units": [],
-                    "source_lines": 0,
-                    "timings": {},
-                    "diagnostics": [],
-                    "trace": [],
-                    "ag_stats": {},
-                })
-        return results
-
-    def _ensure_executor(self):
-        if self._executor is None:
-            from concurrent.futures import ProcessPoolExecutor
-
-            # Warm the generated translator in the parent so forked
-            # workers inherit it instead of each re-running Linguist.
-            from ..vhdl.grammar import principal_grammar
-
-            principal_grammar()
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=multiprocessing.get_context("fork"),
-            )
-        return self._executor
+        return self.pool.map_ordered(
+            compile_file_task,
+            [(self.root, self.work, self.reference_libs, p)
+             for p in paths])
 
     def close(self):
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        self.pool.close()
 
     def __enter__(self):
         return self

@@ -197,6 +197,35 @@ def _make_parser():
                         "private temp dir, removed at shutdown)")
 
     p = sub.add_parser(
+        "fuzz", parents=[metrics_args],
+        help="generative conformance sweep: seeded random designs "
+             "through compile + lint + differential simulation "
+             "(Kernel vs ScanKernel)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed of the sweep (default 0)")
+    p.add_argument("--budget", type=int, default=50, metavar="N",
+                   help="number of designs to generate and check "
+                        "(default 50)")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="check designs with N forked workers; "
+                        "results are byte-identical to -j1")
+    p.add_argument("--shrink", dest="shrink", action="store_true",
+                   default=True,
+                   help="minimize failing designs with the "
+                        "decision-tape reducer (default)")
+    p.add_argument("--no-shrink", dest="shrink",
+                   action="store_false",
+                   help="report failures without minimizing them")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="persist every minimized failure (after a "
+                        "fix: its passing design) into DIR as "
+                        "replayable .vhd corpus entries")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json"),
+                   help="report encoding (json prints the full "
+                        "repro-metrics/1 fuzz-report envelope)")
+
+    p = sub.add_parser(
         "bench-check",
         help="perf-regression gate: compare a fresh benchmark run "
              "against a committed BENCH_*.json baseline")
@@ -688,6 +717,72 @@ def cmd_serve(args, out):
     return 0
 
 
+def cmd_fuzz(args, out):
+    """Exit 0 on a clean sweep, 1 when any design diverged/crashed,
+    2 on usage errors — mirroring the compile-command convention."""
+    from .gen import corpus as corpus_store
+    from .gen.runner import run_sweep
+
+    if args.budget < 1:
+        out("fuzz: --budget must be at least 1")
+        return 2
+    registry = _registry_for(args)
+    report = run_sweep(
+        args.seed, args.budget, jobs=args.jobs,
+        shrink_failures=args.shrink, metrics=registry)
+
+    if args.format == "json":
+        out(json.dumps(report.as_envelope(), indent=1,
+                       sort_keys=True))
+    else:
+        parts = ["%s=%d" % (k, v)
+                 for k, v in sorted(report.counts.items())]
+        out("fuzz: seed=%d budget=%d jobs=%d: %s (%.1f designs/s)"
+            % (report.seed, report.budget, report.jobs,
+               " ".join(parts) or "nothing ran",
+               report.designs_per_second))
+        for failure in report.failures:
+            tag = "minimized to %d line(s)" % failure["min_lines"] \
+                if failure.get("shrunk") else "unminimized"
+            out("FAIL design %d [%s] %s — %s"
+                % (failure["index"], failure["outcome"], tag,
+                   failure["detail"]))
+            out("  replay: %s" % failure["replay"])
+            source = failure.get("min_source") or failure["source"]
+            for line in source.splitlines():
+                out("  | " + line)
+
+    if args.corpus and report.failures:
+        from .gen.grammar import replay as replay_design
+
+        os.makedirs(args.corpus, exist_ok=True)
+        for failure in report.failures:
+            choices = failure.get("min_choices")
+            if choices is None:
+                continue
+            design = replay_design(choices, seed=report.seed,
+                                   index=failure["index"])
+            name = "fail_seed%d_i%d" % (report.seed,
+                                        failure["index"])
+            path = os.path.join(args.corpus, "%s.vhd" % name)
+            text = "\n".join([
+                "%s expect=%s top=%s until_ns=%d" % (
+                    corpus_store.HEADER_PREFIX, failure["outcome"],
+                    design.top, design.until_ns),
+                "%s seed=%d index=%d" % (corpus_store.HEADER_PREFIX,
+                                         report.seed,
+                                         failure["index"]),
+                "%s note=UNFIXED failure — do not commit as-is" % (
+                    corpus_store.HEADER_PREFIX),
+            ]) + "\n" + design.source
+            with open(path, "w") as handle:
+                handle.write(text)
+            out("fuzz: wrote failing design to %s" % path)
+
+    _emit_metrics(registry, args, out, "fuzz metrics")
+    return 0 if report.ok else 1
+
+
 def cmd_bench_check(args, out):
     from .metrics.benchcheck import bench_check
 
@@ -712,6 +807,7 @@ COMMANDS = {
     "sim": cmd_simulate,
     "stats": cmd_stats,
     "serve": cmd_serve,
+    "fuzz": cmd_fuzz,
     "bench-check": cmd_bench_check,
 }
 

@@ -1,0 +1,27 @@
+"""`repro.gen` — generative VHDL corpus + differential conformance.
+
+The subsystem has five small parts:
+
+- :mod:`~repro.gen.tape` — the seeded, replayable decision tape;
+- :mod:`~repro.gen.grammar` — typed design builders drawing from it;
+- :mod:`~repro.gen.oracle` — compile → lint → both-kernels check;
+- :mod:`~repro.gen.reducer` — tape-level shrinking of failures;
+- :mod:`~repro.gen.corpus` — the persisted ``tests/gen/corpus`` store;
+- :mod:`~repro.gen.runner` — the sweep engine behind ``repro fuzz``.
+"""
+
+from .grammar import GeneratedDesign, generate_design, generate_for, replay
+from .oracle import CheckResult, check_design, check_source
+from .tape import DecisionTape, mix_seed
+
+__all__ = [
+    "CheckResult",
+    "DecisionTape",
+    "GeneratedDesign",
+    "check_design",
+    "check_source",
+    "generate_design",
+    "generate_for",
+    "mix_seed",
+    "replay",
+]

@@ -1,0 +1,515 @@
+"""Typed builders for randomized-but-valid VHDL designs.
+
+Every design is produced by :func:`generate_design` from a
+:class:`~repro.gen.tape.DecisionTape`: the builders draw structure
+decisions in a fixed order, assemble a small typed plan (packages,
+leaf entities, an optional ``mid`` wrapper, a ``fz_top`` bench, an
+optional configuration unit), and render it to source text.  The same
+tape therefore always yields byte-identical VHDL.
+
+The feature mix deliberately concentrates on the paper's §3 hard
+cases: generics with defaults and ``generic map`` overrides, multiple
+architectures per entity, configuration *specifications* and
+configuration *units*, nested component bindings (top → mid → leaf),
+resolution functions driven by several concurrent sources, and the
+full wait-statement topology (sensitivity lists, ``wait on``, ``wait
+for``, ``wait until``, terminal ``wait``).  A small fraction of
+designs injects a known-unsupported or ill-formed construct (a
+``generate`` statement, an unknown name, a bad initializer) to pin the
+*rejection* path: the conformance oracle requires those to fail with
+structured diagnostics, never a raw traceback.
+"""
+
+from .tape import DecisionTape, mix_seed
+
+#: Modulus keeping every generated integer expression in range.
+MOD = 1000
+
+#: Simulation horizons (ns) the oracle runs generated designs to.
+UNTIL_CHOICES = (300, 500, 1000)
+
+
+class LeafPlan:
+    """One leaf entity: fixed (clk, din, dout) interface."""
+
+    __slots__ = ("name", "generic_default", "archs", "uses_pkg")
+
+    def __init__(self, name):
+        self.name = name
+        self.generic_default = None  # int or None
+        self.archs = []  # [(arch_name, kind, params-dict)]
+        self.uses_pkg = False
+
+    @property
+    def has_generic(self):
+        return self.generic_default is not None
+
+
+class GeneratedDesign:
+    """The rendered design plus everything needed to replay it."""
+
+    __slots__ = ("source", "top", "until_ns", "features", "choices",
+                 "seed", "index")
+
+    def __init__(self, source, top, until_ns, features, choices,
+                 seed, index):
+        self.source = source
+        self.top = top
+        self.until_ns = until_ns
+        self.features = list(features)
+        self.choices = list(choices)
+        self.seed = seed
+        self.index = index
+
+    @property
+    def lines(self):
+        """Non-blank, non-comment source lines (Figure 2 counting)."""
+        n = 0
+        for line in self.source.splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("--"):
+                n += 1
+        return n
+
+    def __repr__(self):
+        return "<GeneratedDesign top=%s %d line(s) features=%s>" % (
+            self.top, self.lines, ",".join(self.features) or "-")
+
+
+def generate_for(seed, index):
+    """The design at (sweep seed, index) — order-independent."""
+    tape = DecisionTape(mix_seed(seed, index))
+    return generate_design(tape, seed=seed, index=index)
+
+
+def replay(choices, seed=0, index=0):
+    """Regenerate a design from a recorded (or reduced) tape."""
+    tape = DecisionTape.replaying(choices)
+    return generate_design(tape, seed=seed, index=index)
+
+
+def generate_design(tape, seed=0, index=0):
+    """Draw one design from ``tape``.
+
+    Draw order is the contract: the reducer edits raw choice lists,
+    so every decision must be consumed in a deterministic sequence
+    (data-dependent *skipping* is fine — replay recomputes the same
+    skips from the same earlier choices).
+    """
+    features = []
+    body = []
+
+    # -- global knobs ----------------------------------------------------
+    until_ns = tape.choice(UNTIL_CHOICES)
+    use_pkg = tape.chance(1, 3)
+    n_leaves = 1 + tape.draw(2)  # 1 or 2 leaf entities
+
+    # -- optional package ------------------------------------------------
+    pkg_const = None
+    pkg_fn = False
+    if use_pkg:
+        features.append("package")
+        pkg_const = tape.randint(1, 9)
+        pkg_fn = tape.chance(1, 2)
+        body.append("package fz_pkg is")
+        body.append("  constant k0 : integer := %d;" % pkg_const)
+        if pkg_fn:
+            body.append(
+                "  function step (x : integer) return integer;")
+        body.append("end fz_pkg;")
+        if pkg_fn:
+            body.append("package body fz_pkg is")
+            body.append(
+                "  function step (x : integer) return integer is")
+            body.append("  begin")
+            body.append("    return (x + %d) mod %d;"
+                        % (tape.randint(1, 5), MOD))
+            body.append("  end step;")
+            body.append("end fz_pkg;")
+        body.append("")
+
+    # -- leaf entities ---------------------------------------------------
+    leaves = []
+    for li in range(n_leaves):
+        leaf = LeafPlan("fz_leaf%d" % li)
+        if tape.chance(1, 2):
+            leaf.generic_default = tape.randint(1, 7)
+        leaf.uses_pkg = use_pkg and tape.chance(1, 2)
+        n_archs = 1 + tape.draw(2)
+        for ai in range(n_archs):
+            kind = tape.weighted((
+                ("concurrent", 3),
+                ("clocked", 3),
+                ("comb_process", 2),
+                ("conditional", 2),
+            ))
+            params = {
+                "k": tape.randint(1, 9),
+                "j": tape.randint(0, 9),
+                "delay": tape.randint(1, 9),
+                "threshold": tape.randint(1, 50),
+            }
+            leaf.archs.append(("fz_a%d" % ai, kind, params))
+        if n_archs > 1:
+            features.append("two_arch")
+        if leaf.has_generic:
+            features.append("generics")
+        leaves.append(leaf)
+        body.extend(_render_leaf(leaf, pkg_fn))
+        body.append("")
+
+    # -- optional mid wrapper (nested component binding) -----------------
+    use_mid = tape.chance(1, 2)
+    mid_children = []
+    if use_mid:
+        features.append("mid")
+        mid_children = [tape.choice(leaves)]
+        if len(leaves) > 1 and tape.chance(1, 2):
+            mid_children.append(tape.choice(leaves))
+        mid_binds = []
+        for mi, child in enumerate(mid_children):
+            if tape.chance(1, 2):
+                mid_binds.append((mi, tape.choice(child.archs)[0]))
+        body.extend(_render_mid(mid_children, dict(mid_binds)))
+        body.append("")
+
+    # -- top bench -------------------------------------------------------
+    n_stages = 1 + tape.draw(3)  # 1..3 instances in the chain
+    stage_children = []
+    for _ in range(n_stages):
+        if use_mid and tape.chance(1, 2):
+            stage_children.append(None)  # None = the mid wrapper
+        else:
+            stage_children.append(tape.choice(leaves))
+
+    clock_period = tape.choice((5, 7, 10))
+    # Drive of d0: a stimulus process or a delayed feedback loop.
+    feedback = tape.chance(1, 3)
+    if feedback:
+        features.append("feedback")
+        feedback_delay = tape.randint(2, 9)
+        feedback_transport = tape.chance(1, 2)
+        if feedback_transport:
+            features.append("transport")
+        stim_kind = None
+    else:
+        feedback_delay = 0
+        feedback_transport = False
+        stim_kind = tape.weighted((
+            ("steps", 3), ("loop", 3), ("until", 2),
+        ))
+
+    # Per-instance configuration specifications for leaf instances.
+    config_specs = []
+    for si, child in enumerate(stage_children):
+        if child is not None and len(child.archs) > 1 \
+                and tape.chance(1, 2):
+            config_specs.append(
+                (si, child, tape.choice(child.archs)[0]))
+    if config_specs:
+        features.append("config_spec")
+
+    # Generic-map overrides for leaf instances that declared one.
+    generic_maps = {}
+    for si, child in enumerate(stage_children):
+        if child is not None and child.has_generic \
+                and tape.chance(1, 2):
+            generic_maps[si] = tape.randint(1, 20)
+
+    resolved_bus = tape.chance(1, 4)
+    bus_events = []
+    if resolved_bus:
+        features.append("resolved_bus")
+        n_drivers = 2 + tape.draw(2)
+        t = 0
+        for _ in range(n_drivers):
+            t += tape.randint(3, 20)
+            bus_events.append((tape.choice(("'0'", "'1'")), t))
+
+    use_assert = tape.chance(1, 3)
+    use_monitor = tape.chance(1, 3)
+    if use_monitor:
+        features.append("handshake")
+
+    # A configuration unit needs a directly-bound leaf instance.
+    direct_leaves = [
+        (si, child) for si, child in enumerate(stage_children)
+        if child is not None
+    ]
+    config_unit = None
+    if direct_leaves and tape.chance(1, 4):
+        si, child = tape.choice(direct_leaves)
+        config_unit = (si, child, tape.choice(child.archs)[0])
+        features.append("config_unit")
+
+    # -- rare invalid injection -----------------------------------------
+    invalid = None
+    if tape.chance(1, 16):
+        invalid = tape.choice((
+            "generate", "unknown_name", "bad_init", "unknown_type",
+        ))
+        features.append("invalid:%s" % invalid)
+
+    body.extend(_render_top(
+        stage_children, clock_period, feedback, feedback_delay,
+        feedback_transport, stim_kind, config_specs, generic_maps,
+        resolved_bus, bus_events, use_assert, use_monitor,
+        pkg_const if use_pkg else None, invalid, tape))
+
+    top = "fz_top"
+    if config_unit is not None:
+        si, child, arch = config_unit
+        body.append("")
+        body.append("configuration fz_cfg of fz_top is")
+        body.append("  for bench")
+        body.append("    for u%d : %s use entity work.%s(%s);"
+                    % (si, child.name, child.name, arch))
+        body.append("    end for;")
+        body.append("  end for;")
+        body.append("end fz_cfg;")
+        top = "fz_cfg"
+
+    source = "\n".join(body) + "\n"
+    return GeneratedDesign(source, top, until_ns, features,
+                           tape.choices, seed, index)
+
+
+# -- renderers -----------------------------------------------------------
+
+
+def _leaf_expr(kind, params, generic, pkg_fn, uses_pkg):
+    base = "din"
+    if generic:
+        base = "(din + g)"
+    expr = "(%s * %d + %d) mod %d" % (base, params["k"], params["j"],
+                                      MOD)
+    if pkg_fn and uses_pkg:
+        expr = "step(%s)" % expr
+    return expr
+
+
+def _render_leaf(leaf, pkg_fn):
+    out = []
+    if leaf.uses_pkg:
+        out.append("use work.fz_pkg.all;")
+    out.append("entity %s is" % leaf.name)
+    if leaf.has_generic:
+        out.append("  generic ( g : integer := %d );"
+                   % leaf.generic_default)
+    out.append("  port ( clk : in bit; din : in integer; "
+               "dout : out integer );")
+    out.append("end %s;" % leaf.name)
+    for arch_name, kind, params in leaf.archs:
+        expr = _leaf_expr(kind, params, leaf.has_generic, pkg_fn,
+                          leaf.uses_pkg)
+        out.append("architecture %s of %s is" % (arch_name, leaf.name))
+        out.append("begin")
+        if kind == "concurrent":
+            out.append("  dout <= %s after %d ns;"
+                       % (expr, params["delay"]))
+        elif kind == "clocked":
+            out.append("  tick : process (clk)")
+            out.append("  begin")
+            out.append("    if clk'event and clk = '1' then")
+            out.append("      dout <= %s;" % expr)
+            out.append("    end if;")
+            out.append("  end process;")
+        elif kind == "comb_process":
+            out.append("  comb : process (din)")
+            out.append("  begin")
+            out.append("    dout <= %s after %d ns;"
+                       % (expr, params["delay"]))
+            out.append("  end process;")
+        else:  # conditional concurrent assignment
+            out.append("  dout <= %s when din > %d else %d;"
+                       % (expr, params["threshold"], params["j"]))
+        out.append("end %s;" % arch_name)
+    return out
+
+
+def _component_decl(leaf_like):
+    """The component declaration matching a leaf (or mid) interface."""
+    out = ["  component %s" % leaf_like[0]]
+    if leaf_like[1] is not None:
+        out.append("    generic ( g : integer := %d );" % leaf_like[1])
+    out.append("    port ( clk : in bit; din : in integer; "
+               "dout : out integer );")
+    out.append("  end component;")
+    return out
+
+
+def _render_mid(children, binds):
+    """The ``fz_mid`` wrapper chaining its children (nested binding)."""
+    out = ["entity fz_mid is",
+           "  port ( clk : in bit; din : in integer; "
+           "dout : out integer );",
+           "end fz_mid;",
+           "architecture wrap of fz_mid is"]
+    declared = []
+    for child in children:
+        if child.name not in declared:
+            declared.append(child.name)
+            out.extend(_component_decl(
+                (child.name,
+                 child.generic_default if child.has_generic else None)))
+    for mi, arch in sorted(binds.items()):
+        out.append("  for w%d : %s use entity work.%s(%s);"
+                   % (mi, children[mi].name, children[mi].name, arch))
+    for mi in range(len(children) - 1):
+        out.append("  signal m%d : integer := 0;" % mi)
+    out.append("begin")
+    prev = "din"
+    for mi, child in enumerate(children):
+        last = mi == len(children) - 1
+        target = "dout" if last else "m%d" % mi
+        out.append("  w%d : %s port map ( clk => clk, din => %s, "
+                   "dout => %s );" % (mi, child.name, prev, target))
+        prev = target
+    out.append("end wrap;")
+    return out
+
+
+def _render_top(stage_children, clock_period, feedback, feedback_delay,
+                feedback_transport, stim_kind, config_specs,
+                generic_maps, resolved_bus, bus_events, use_assert,
+                use_monitor, pkg_const, invalid, tape):
+    out = []
+    if pkg_const is not None:
+        out.append("use work.fz_pkg.all;")
+    out.extend(["entity fz_top is", "end fz_top;",
+                "architecture bench of fz_top is"])
+    declared = []
+    for child in stage_children:
+        name = "fz_mid" if child is None else child.name
+        if name in declared:
+            continue
+        declared.append(name)
+        if child is None:
+            out.extend(_component_decl(("fz_mid", None)))
+        else:
+            out.extend(_component_decl(
+                (child.name,
+                 child.generic_default if child.has_generic else None)))
+    for si, child, arch in config_specs:
+        out.append("  for u%d : %s use entity work.%s(%s);"
+                   % (si, child.name, child.name, arch))
+    if resolved_bus:
+        out.append("  function wired_or (bits : bit_vector) "
+                   "return bit is")
+        out.append("  begin")
+        out.append("    for i in bits'range loop")
+        out.append("      if bits(i) = '1' then")
+        out.append("        return '1';")
+        out.append("      end if;")
+        out.append("    end loop;")
+        out.append("    return '0';")
+        out.append("  end wired_or;")
+        out.append("  subtype rbit is wired_or bit;")
+    out.append("  signal clk : bit := '0';")
+    for si in range(len(stage_children) + 1):
+        out.append("  signal d%d : integer := 0;" % si)
+    if resolved_bus:
+        out.append("  signal bus0 : rbit := '0';")
+    if use_monitor:
+        out.append("  signal hits : integer := 0;")
+    if pkg_const is not None:
+        out.append("  signal kmirror : integer := k0;")
+    if invalid == "unknown_type":
+        out.append("  signal ghost : no_such_type := 0;")
+    elif invalid == "unknown_name":
+        out.append("  signal ghost : integer := missing_constant;")
+    elif invalid == "bad_init":
+        out.append("  signal ghost : integer := ;")
+    out.append("begin")
+
+    out.append("  clock : process")
+    out.append("  begin")
+    out.append("    clk <= not clk after %d ns;" % clock_period)
+    out.append("    wait on clk;")
+    out.append("  end process;")
+
+    n = len(stage_children)
+    for si, child in enumerate(stage_children):
+        name = "fz_mid" if child is None else child.name
+        gmap = ""
+        if si in generic_maps:
+            gmap = "generic map ( g => %d ) " % generic_maps[si]
+        out.append("  u%d : %s %sport map ( clk => clk, din => d%d, "
+                   "dout => d%d );" % (si, name, gmap, si, si + 1))
+
+    if feedback:
+        kw = "transport " if feedback_transport else ""
+        out.append("  feedback : d0 <= %s(d%d + 1) mod %d after "
+                   "%d ns;" % (kw, n, MOD, feedback_delay))
+    else:
+        out.extend(_render_stimulus(stim_kind, tape))
+
+    if resolved_bus:
+        mid = max(1, len(bus_events) // 2)
+        for di, group in enumerate((bus_events[:mid],
+                                    bus_events[mid:])):
+            if not group:
+                continue
+            wave = ", ".join("%s after %d ns" % (v, t)
+                             for v, t in group)
+            out.append("  drv%d : bus0 <= %s;" % (di, wave))
+
+    if use_monitor:
+        out.append("  mon : process")
+        out.append("  begin")
+        out.append("    wait until d%d /= 0;" % n)
+        out.append("    hits <= hits + 1;")
+        out.append("    wait;")
+        out.append("  end process;")
+
+    if use_assert:
+        out.append("  watch : assert d%d < %d" % (n, MOD))
+        out.append("    report \"stage out of range\" severity note;")
+
+    if pkg_const is not None:
+        out.append("  kmix : kmirror <= (d%d + k0) mod %d;"
+                   % (n, MOD))
+
+    if invalid == "generate":
+        out.append("  gen0 : for i in 0 to 3 generate")
+        out.append("    d%d <= d0;" % n)
+        out.append("  end generate;")
+
+    out.append("end bench;")
+    return out
+
+
+def _render_stimulus(stim_kind, tape):
+    out = ["  stim : process"]
+    if stim_kind == "steps":
+        n_steps = 1 + tape.draw(3)
+        out.append("  begin")
+        for _ in range(n_steps):
+            out.append("    wait for %d ns;" % tape.randint(3, 30))
+            out.append("    d0 <= %d;" % tape.randint(1, MOD - 1))
+        out.append("    wait;")
+    elif stim_kind == "loop":
+        n_iter = tape.randint(2, 8)
+        step = tape.randint(1, 9)
+        period = tape.randint(4, 25)
+        out.append("    variable v : integer := 0;")
+        out.append("  begin")
+        out.append("    for i in 1 to %d loop" % n_iter)
+        out.append("      v := (v + %d) mod %d;" % (step, MOD))
+        out.append("      d0 <= v;")
+        out.append("      wait for %d ns;" % period)
+        out.append("    end loop;")
+        out.append("    wait;")
+    else:  # "until": edge-synchronized bursts
+        n_iter = tape.randint(2, 6)
+        step = tape.randint(1, 9)
+        out.append("    variable v : integer := 0;")
+        out.append("  begin")
+        out.append("    for i in 1 to %d loop" % n_iter)
+        out.append("      wait until clk = '1';")
+        out.append("      v := (v + %d) mod %d;" % (step, MOD))
+        out.append("      d0 <= v;")
+        out.append("    end loop;")
+        out.append("    wait;")
+    out.append("  end process;")
+    return out

@@ -1,0 +1,159 @@
+"""Decision-tape shrinking for failing designs.
+
+The reducer never touches VHDL text.  It edits the *choice list* that
+produced a failing design and replays it through the generator: since
+replay folds every entry into range and treats an exhausted tape as
+all-zeros, **any** integer list is a valid tape, so the reducer can
+chop, zero, and decrease entries freely and always gets back some
+design — usually a structurally smaller one (the builders put the
+"off"/simplest alternative at choice value 0).
+
+Three passes run to a fixpoint, cheapest first:
+
+1. *chunk deletion* — drop windows of choices (halving window sizes),
+   which removes whole features and trailing structure;
+2. *zeroing* — force windows to 0, turning optional features off in
+   place without shifting later draws;
+3. *decrease* — per-position binary search toward 0, minimizing
+   retained magnitudes (delays, constants, counts).
+
+``predicate(choices) -> bool`` decides "still failing"; the caller
+builds it from the oracle.  Evaluations are memoized and budgeted.
+"""
+
+
+class ShrinkResult:
+    """The minimized tape plus how the search went."""
+
+    __slots__ = ("choices", "evals", "improved", "exhausted")
+
+    def __init__(self, choices, evals, improved, exhausted):
+        self.choices = list(choices)
+        self.evals = evals
+        self.improved = improved
+        self.exhausted = exhausted
+
+    def __repr__(self):
+        return "<ShrinkResult %d choice(s), %d eval(s)%s>" % (
+            len(self.choices), self.evals,
+            ", budget exhausted" if self.exhausted else "")
+
+
+def shrink(choices, predicate, max_evals=400):
+    """Minimize ``choices`` while ``predicate`` stays true.
+
+    The initial tape must satisfy the predicate (the caller observed
+    the failure on it); raises ``ValueError`` otherwise, because a
+    flaky predicate would make every later step meaningless.
+    """
+    state = _Search(predicate, max_evals)
+    current = [int(c) for c in choices]
+    if not state.check(current):
+        raise ValueError("initial choices do not satisfy the "
+                         "failure predicate (flaky reproduction?)")
+    best = list(current)
+    changed = True
+    while changed and not state.exhausted:
+        changed = False
+        for pass_fn in (_pass_delete, _pass_zero, _pass_decrease):
+            best, did = pass_fn(best, state)
+            changed = changed or did
+            if state.exhausted:
+                break
+    return ShrinkResult(best, state.evals,
+                        improved=_size(best) < _size(choices),
+                        exhausted=state.exhausted)
+
+
+def _size(choices):
+    """Shrink order: fewer choices first, then smaller magnitudes."""
+    return (len(choices), sum(choices))
+
+
+class _Search:
+    def __init__(self, predicate, max_evals):
+        self.predicate = predicate
+        self.max_evals = max_evals
+        self.evals = 0
+        self.exhausted = False
+        self._seen = {}
+
+    def check(self, choices):
+        key = tuple(choices)
+        if key in self._seen:
+            return self._seen[key]
+        if self.evals >= self.max_evals:
+            self.exhausted = True
+            return False
+        self.evals += 1
+        ok = bool(self.predicate(list(choices)))
+        self._seen[key] = ok
+        return ok
+
+
+def _pass_delete(choices, state):
+    """Drop windows of choices, largest windows first."""
+    current = list(choices)
+    improved = False
+    window = max(1, len(current) // 2)
+    while window >= 1:
+        start = 0
+        while start < len(current):
+            if state.exhausted:
+                return current, improved
+            candidate = current[:start] + current[start + window:]
+            if candidate != current and state.check(candidate):
+                current = candidate
+                improved = True
+                # Same start now names the next window; don't advance.
+            else:
+                start += window
+        window //= 2
+    return current, improved
+
+
+def _pass_zero(choices, state):
+    """Zero windows in place (turns features off without shifting)."""
+    current = list(choices)
+    improved = False
+    window = max(1, len(current) // 2)
+    while window >= 1:
+        for start in range(0, len(current), window):
+            if state.exhausted:
+                return current, improved
+            candidate = list(current)
+            segment = candidate[start:start + window]
+            if all(v == 0 for v in segment):
+                continue
+            candidate[start:start + window] = [0] * len(segment)
+            if state.check(candidate):
+                current = candidate
+                improved = True
+        window //= 2
+    return current, improved
+
+
+def _pass_decrease(choices, state):
+    """Binary-search each retained value toward zero."""
+    current = list(choices)
+    improved = False
+    for pos in range(len(current)):
+        if state.exhausted:
+            return current, improved
+        if current[pos] == 0:
+            continue
+        lo, hi = 0, current[pos]  # hi is known-true
+        while lo < hi:
+            mid = (lo + hi) // 2
+            candidate = list(current)
+            candidate[pos] = mid
+            if state.check(candidate):
+                hi = mid
+            else:
+                lo = mid + 1
+            if state.exhausted:
+                break
+        if hi < current[pos]:
+            current[pos] = hi
+            improved = True
+    return current, improved

@@ -1,0 +1,202 @@
+"""The sweep engine behind ``repro fuzz``.
+
+A sweep checks ``budget`` designs derived from one base seed.  Design
+``index`` always gets the stream seed ``mix_seed(seed, index)`` — a
+function of (seed, index) alone — so a ``--jobs 4`` sweep produces
+byte-identical designs, outcomes, and reports to a serial one; only
+wall time changes.  Fan-out rides the same warmed
+:class:`~repro.build.pool.ForkPool` the incremental build scheduler
+uses.
+
+Any failing design (``divergence``/``crash``) is minimized *in the
+parent* with the decision-tape reducer before it is reported: the
+failure record carries both the original and the shrunk design plus
+the replay command line.  Optionally every shrunk failure — and, with
+``--corpus``, every design — can be persisted through
+:mod:`repro.gen.corpus`.
+
+Telemetry (``repro.metrics``): ``fuzz_designs_total{outcome=}``,
+``fuzz_design_lines`` / ``fuzz_check_seconds`` histograms over the
+sweep, and ``fuzz_shrink_evals`` per minimized failure.
+"""
+
+import time
+
+from ..build.pool import ForkPool
+from ..metrics import NULL_REGISTRY
+from ..metrics.registry import SECONDS_BUCKETS, envelope, log125_buckets
+from .grammar import generate_for, replay
+from .oracle import FAILURE_OUTCOMES, check_design
+from .reducer import shrink
+
+#: Buckets for design size (non-comment source lines).
+LINE_BUCKETS = log125_buckets(1, 10**4)
+
+#: Buckets for reducer effort (oracle evaluations per shrink).
+SHRINK_BUCKETS = log125_buckets(1, 10**4)
+
+
+def fuzz_task(seed, index):
+    """Generate + check design ``index``; picklable in, pickle out."""
+    design = generate_for(seed, index)
+    t0 = time.perf_counter()
+    result = check_design(design)
+    return {
+        "index": index,
+        "outcome": result.outcome,
+        "detail": result.detail,
+        "features": list(design.features),
+        "lines": design.lines,
+        "choices": list(design.choices),
+        "lint_findings": result.lint_findings,
+        "seconds": round(time.perf_counter() - t0, 6),
+    }
+
+
+def _task_crash(args, exc):
+    """A worker that died *is* a harness crash — report it as one."""
+    seed, index = args
+    return {
+        "index": index,
+        "outcome": "crash",
+        "detail": "fuzz worker failed: %s: %s"
+                  % (type(exc).__name__, exc),
+        "features": [],
+        "lines": 0,
+        "choices": [],
+        "lint_findings": 0,
+        "seconds": 0.0,
+    }
+
+
+class FuzzReport:
+    """Aggregated sweep outcome."""
+
+    __slots__ = ("seed", "budget", "jobs", "counts", "failures",
+                 "records", "elapsed", "shrunk")
+
+    def __init__(self, seed, budget, jobs):
+        self.seed = seed
+        self.budget = budget
+        self.jobs = jobs
+        self.counts = {}
+        self.failures = []  # failure dicts, post-shrink
+        self.records = []  # per-design records, index order
+        self.elapsed = 0.0
+        self.shrunk = 0
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    @property
+    def designs_per_second(self):
+        if self.elapsed <= 0:
+            return 0.0
+        return len(self.records) / self.elapsed
+
+    def as_envelope(self):
+        return envelope(
+            "fuzz-report",
+            seed=self.seed,
+            budget=self.budget,
+            jobs=self.jobs,
+            elapsed_seconds=round(self.elapsed, 3),
+            designs_per_second=round(self.designs_per_second, 2),
+            outcomes=dict(sorted(self.counts.items())),
+            failures=self.failures,
+            designs=[{k: r[k] for k in
+                      ("index", "outcome", "lines", "features",
+                       "lint_findings")}
+                     for r in self.records],
+        )
+
+
+def run_sweep(seed, budget, jobs=1, shrink_failures=True,
+              metrics=None, max_shrink_evals=400, progress=None):
+    """Check ``budget`` designs; returns a :class:`FuzzReport`."""
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    m_designs = registry.counter(
+        "fuzz_designs_total", "checked designs by oracle outcome")
+    m_lines = registry.histogram(
+        "fuzz_design_lines", "generated design size (source lines)",
+        buckets=LINE_BUCKETS)
+    m_seconds = registry.histogram(
+        "fuzz_check_seconds", "oracle wall time per design",
+        buckets=SECONDS_BUCKETS)
+    m_shrink = registry.histogram(
+        "fuzz_shrink_evals", "oracle evaluations per minimized "
+        "failure", buckets=SHRINK_BUCKETS)
+
+    report = FuzzReport(seed, budget, jobs)
+    t0 = time.perf_counter()
+    with ForkPool(jobs=jobs, on_error=_task_crash) as pool:
+        records = pool.map_ordered(
+            fuzz_task, [(seed, i) for i in range(budget)])
+    for record in records:
+        report.records.append(record)
+        outcome = record["outcome"]
+        report.counts[outcome] = report.counts.get(outcome, 0) + 1
+        m_designs.labels(outcome=outcome).inc()
+        m_lines.observe(record["lines"])
+        m_seconds.observe(record["seconds"])
+        if outcome in FAILURE_OUTCOMES:
+            failure = _minimize(seed, record, shrink_failures,
+                                max_shrink_evals)
+            if failure.get("shrunk"):
+                report.shrunk += 1
+                m_shrink.observe(failure["shrink_evals"])
+            report.failures.append(failure)
+            if progress is not None:
+                progress(failure)
+    report.elapsed = time.perf_counter() - t0
+    return report
+
+
+def _minimize(seed, record, shrink_failures, max_shrink_evals):
+    """Shrink one failing design in the parent process."""
+    index = record["index"]
+    design = generate_for(seed, index)
+    failure = {
+        "index": index,
+        "outcome": record["outcome"],
+        "detail": record["detail"],
+        "features": record["features"],
+        "lines": record["lines"],
+        "source": design.source,
+        "top": design.top,
+        "until_ns": design.until_ns,
+        "replay": "repro fuzz --seed %d --budget %d"
+                  % (seed, index + 1),
+        "shrunk": False,
+    }
+    if not shrink_failures or not record["choices"]:
+        return failure
+
+    want = record["outcome"]
+
+    def still_fails(choices):
+        try:
+            replayed = replay(choices, seed=seed, index=index)
+            return check_design(replayed).outcome == want
+        except Exception:
+            return False
+
+    try:
+        shrunk = shrink(record["choices"], still_fails,
+                        max_evals=max_shrink_evals)
+    except ValueError as exc:  # flaky reproduction: report unshrunk
+        failure["shrink_error"] = str(exc)
+        return failure
+    minimized = replay(shrunk.choices, seed=seed, index=index)
+    failure.update({
+        "shrunk": True,
+        "shrink_evals": shrunk.evals,
+        "shrink_exhausted": shrunk.exhausted,
+        "min_source": minimized.source,
+        "min_top": minimized.top,
+        "min_until_ns": minimized.until_ns,
+        "min_lines": minimized.lines,
+        "min_choices": list(shrunk.choices),
+    })
+    return failure

@@ -548,12 +548,69 @@ def scenario_serve():
                     checks=checks, timings=timings, metrics={})
 
 
+_FUZZ_SEED = 7
+_FUZZ_BUDGET = 15
+
+
+def scenario_fuzz():
+    """The generative conformance harness's gate: a fixed-seed sweep
+    must be *deterministic* (``exact`` outcome counts, zero
+    divergences/crashes, exact total design size — any drift means
+    the generator or an oracle input changed semantics) and its
+    normalized cost must not regress (``max``)."""
+    from ..gen.runner import run_sweep
+
+    def measure():
+        registry = MetricsRegistry()
+        return run_sweep(_FUZZ_SEED, _FUZZ_BUDGET, jobs=1,
+                         shrink_failures=False, metrics=registry), \
+            registry
+
+    ratio, best, calib, (report, registry) = normalized_cost(
+        measure, repeats=3)
+    values = {
+        "seed": _FUZZ_SEED,
+        "budget": _FUZZ_BUDGET,
+        "ok": report.counts.get("ok", 0),
+        "rejected": report.counts.get("rejected", 0),
+        "sim_error": report.counts.get("sim_error", 0),
+        "divergences": report.counts.get("divergence", 0),
+        "crashes": report.counts.get("crash", 0),
+        "total_lines": sum(r["lines"] for r in report.records),
+        "designs_per_second": round(
+            _FUZZ_BUDGET / max(best, 1e-9), 1),
+        "normalized_cost": round(ratio, 4),
+    }
+    checks = {
+        "seed": "exact",
+        "budget": "exact",
+        "ok": "exact",
+        "rejected": "exact",
+        "sim_error": "exact",
+        "divergences": "exact",
+        "crashes": "exact",
+        "total_lines": "exact",
+        "designs_per_second": "min",
+        "normalized_cost": "max",
+    }
+    timings = {"sweep_s": round(best, 6),
+               "calibration_s": round(calib, 6)}
+    metrics = {
+        name: fam
+        for name, fam in registry.snapshot()["metrics"].items()
+        if name.startswith("fuzz_")
+    }
+    return envelope("bench", bench="fuzz", values=values,
+                    checks=checks, timings=timings, metrics=metrics)
+
+
 SCENARIOS = {
     "simulation": scenario_simulation,
     "incremental": scenario_incremental,
     "lint": scenario_lint,
     "kernel_scaling": scenario_kernel_scaling,
     "serve": scenario_serve,
+    "fuzz": scenario_fuzz,
 }
 
 

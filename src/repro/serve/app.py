@@ -32,6 +32,7 @@ import shutil
 import tempfile
 import time
 
+from ..diag import Diagnostic, render_jsonl
 from ..metrics import MetricsRegistry
 from ..metrics.registry import SECONDS_BUCKETS
 from .http import (
@@ -42,6 +43,23 @@ from .http import (
 )
 from .jobs import JobError, JobRunner
 from .session import SessionError, SessionManager, resolve_reference
+
+
+def error_response(status, message, diagnostics=()):
+    """A structured error body: machine-readable like the success
+    path, never a raw traceback.  Every error carries JSONL
+    diagnostics — the ones attached to the failure when it had any,
+    otherwise one synthesized ``SRV001`` record, so clients parse a
+    single shape for all rejections."""
+    diags = list(diagnostics)
+    if not diags:
+        diags = [Diagnostic("SRV001", "error", message)]
+    return Response.json({
+        "ok": False,
+        "error": message,
+        "status": status,
+        "diagnostics_jsonl": render_jsonl(diags),
+    }, status=status)
 
 
 class ServeApp:
@@ -111,11 +129,12 @@ class ServeApp:
         try:
             response = await self._dispatch(request)
         except HTTPError as exc:
-            response = Response.error(exc.status, exc.message)
+            response = error_response(exc.status, exc.message)
         except (SessionError, JobError) as exc:
-            response = Response.error(400, str(exc))
+            response = error_response(
+                400, str(exc), getattr(exc, "diagnostics", ()))
         except Exception as exc:  # keep the daemon alive: 500 + count
-            response = Response.error(
+            response = error_response(
                 500, "%s: %s" % (type(exc).__name__, exc))
         finally:
             self._m_inflight.dec()

@@ -31,7 +31,16 @@ BATCH_WINDOW_S = 0.01
 
 
 class JobError(Exception):
-    """A job could not be accepted (not: a job that ran and failed)."""
+    """A job could not be accepted (not: a job that ran and failed).
+
+    ``diagnostics`` optionally carries structured
+    :class:`~repro.diag.Diagnostic` records explaining the rejection;
+    the app layer renders them as JSONL in the error response.
+    """
+
+    def __init__(self, message, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
 
 
 def _sim_lines(kernel, names, end_fs):

@@ -1,0 +1,73 @@
+-- repro-fuzz: expect=ok top=fz_cfg until_ns=500
+-- repro-fuzz: seed=7 index=65
+-- repro-fuzz: note=pinned from the first seed-7 sweep
+entity fz_leaf0 is
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_leaf0;
+architecture fz_a0 of fz_leaf0 is
+begin
+  tick : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      dout <= (din * 1 + 8) mod 1000;
+    end if;
+  end process;
+end fz_a0;
+architecture fz_a1 of fz_leaf0 is
+begin
+  tick : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      dout <= (din * 4 + 4) mod 1000;
+    end if;
+  end process;
+end fz_a1;
+
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  component fz_leaf0
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  for u1 : fz_leaf0 use entity work.fz_leaf0(fz_a1);
+  function wired_or (bits : bit_vector) return bit is
+  begin
+    for i in bits'range loop
+      if bits(i) = '1' then
+        return '1';
+      end if;
+    end loop;
+    return '0';
+  end wired_or;
+  subtype rbit is wired_or bit;
+  signal clk : bit := '0';
+  signal d0 : integer := 0;
+  signal d1 : integer := 0;
+  signal d2 : integer := 0;
+  signal bus0 : rbit := '0';
+  signal hits : integer := 0;
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+  u0 : fz_leaf0 port map ( clk => clk, din => d0, dout => d1 );
+  u1 : fz_leaf0 port map ( clk => clk, din => d1, dout => d2 );
+  feedback : d0 <= transport (d2 + 1) mod 1000 after 5 ns;
+  drv0 : bus0 <= '0' after 15 ns;
+  drv1 : bus0 <= '0' after 31 ns;
+  mon : process
+  begin
+    wait until d2 /= 0;
+    hits <= hits + 1;
+    wait;
+  end process;
+end bench;
+
+configuration fz_cfg of fz_top is
+  for bench
+    for u1 : fz_leaf0 use entity work.fz_leaf0(fz_a0);
+    end for;
+  end for;
+end fz_cfg;

@@ -1,0 +1,90 @@
+-- repro-fuzz: expect=ok top=fz_cfg until_ns=1000
+-- repro-fuzz: seed=7 index=118
+-- repro-fuzz: note=pinned from the first seed-7 sweep
+entity fz_leaf0 is
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_leaf0;
+architecture fz_a0 of fz_leaf0 is
+begin
+  tick : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      dout <= (din * 4 + 3) mod 1000;
+    end if;
+  end process;
+end fz_a0;
+architecture fz_a1 of fz_leaf0 is
+begin
+  tick : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      dout <= (din * 5 + 8) mod 1000;
+    end if;
+  end process;
+end fz_a1;
+
+entity fz_mid is
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_mid;
+architecture wrap of fz_mid is
+  component fz_leaf0
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+begin
+  w0 : fz_leaf0 port map ( clk => clk, din => din, dout => dout );
+end wrap;
+
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  component fz_leaf0
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  component fz_mid
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  function wired_or (bits : bit_vector) return bit is
+  begin
+    for i in bits'range loop
+      if bits(i) = '1' then
+        return '1';
+      end if;
+    end loop;
+    return '0';
+  end wired_or;
+  subtype rbit is wired_or bit;
+  signal clk : bit := '0';
+  signal d0 : integer := 0;
+  signal d1 : integer := 0;
+  signal d2 : integer := 0;
+  signal d3 : integer := 0;
+  signal bus0 : rbit := '0';
+  signal hits : integer := 0;
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+  u0 : fz_leaf0 port map ( clk => clk, din => d0, dout => d1 );
+  u1 : fz_leaf0 port map ( clk => clk, din => d1, dout => d2 );
+  u2 : fz_mid port map ( clk => clk, din => d2, dout => d3 );
+  feedback : d0 <= transport (d3 + 1) mod 1000 after 5 ns;
+  drv0 : bus0 <= '0' after 9 ns;
+  drv1 : bus0 <= '0' after 24 ns, '0' after 34 ns;
+  mon : process
+  begin
+    wait until d3 /= 0;
+    hits <= hits + 1;
+    wait;
+  end process;
+  watch : assert d3 < 1000
+    report "stage out of range" severity note;
+end bench;
+
+configuration fz_cfg of fz_top is
+  for bench
+    for u0 : fz_leaf0 use entity work.fz_leaf0(fz_a0);
+    end for;
+  end for;
+end fz_cfg;

@@ -1,0 +1,9 @@
+-- repro-fuzz: expect=sim_error top=fz_top until_ns=100
+-- repro-fuzz: note=zero-delay self-inversion exhausts max_deltas; both kernels must raise the identical SimulationError at the identical point
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  signal a1 : bit := '0';
+begin
+  p : a1 <= not a1;
+end bench;

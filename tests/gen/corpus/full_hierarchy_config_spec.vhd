@@ -1,0 +1,83 @@
+-- repro-fuzz: expect=ok top=fz_top until_ns=300
+-- repro-fuzz: seed=7 index=119
+-- repro-fuzz: note=pinned from the first seed-7 sweep
+package fz_pkg is
+  constant k0 : integer := 9;
+  function step (x : integer) return integer;
+end fz_pkg;
+package body fz_pkg is
+  function step (x : integer) return integer is
+  begin
+    return (x + 3) mod 1000;
+  end step;
+end fz_pkg;
+
+use work.fz_pkg.all;
+entity fz_leaf0 is
+  generic ( g : integer := 7 );
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_leaf0;
+architecture fz_a0 of fz_leaf0 is
+begin
+  tick : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      dout <= step(((din + g) * 5 + 3) mod 1000);
+    end if;
+  end process;
+end fz_a0;
+architecture fz_a1 of fz_leaf0 is
+begin
+  dout <= step(((din + g) * 6 + 7) mod 1000) after 5 ns;
+end fz_a1;
+
+entity fz_mid is
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_mid;
+architecture wrap of fz_mid is
+  component fz_leaf0
+    generic ( g : integer := 7 );
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  for w0 : fz_leaf0 use entity work.fz_leaf0(fz_a0);
+begin
+  w0 : fz_leaf0 port map ( clk => clk, din => din, dout => dout );
+end wrap;
+
+use work.fz_pkg.all;
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  component fz_leaf0
+    generic ( g : integer := 7 );
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  component fz_mid
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  for u0 : fz_leaf0 use entity work.fz_leaf0(fz_a0);
+  signal clk : bit := '0';
+  signal d0 : integer := 0;
+  signal d1 : integer := 0;
+  signal d2 : integer := 0;
+  signal hits : integer := 0;
+  signal kmirror : integer := k0;
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+  u0 : fz_leaf0 port map ( clk => clk, din => d0, dout => d1 );
+  u1 : fz_mid port map ( clk => clk, din => d1, dout => d2 );
+  feedback : d0 <= transport (d2 + 1) mod 1000 after 8 ns;
+  mon : process
+  begin
+    wait until d2 /= 0;
+    hits <= hits + 1;
+    wait;
+  end process;
+  watch : assert d2 < 1000
+    report "stage out of range" severity note;
+  kmix : kmirror <= (d2 + k0) mod 1000;
+end bench;

@@ -1,0 +1,88 @@
+-- repro-fuzz: expect=rejected top=fz_cfg until_ns=300
+-- repro-fuzz: seed=7 index=49
+-- repro-fuzz: note=generate statements must reject with structured diagnostics
+entity fz_leaf0 is
+  generic ( g : integer := 2 );
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_leaf0;
+architecture fz_a0 of fz_leaf0 is
+begin
+  comb : process (din)
+  begin
+    dout <= ((din + g) * 8 + 6) mod 1000 after 3 ns;
+  end process;
+end fz_a0;
+architecture fz_a1 of fz_leaf0 is
+begin
+  comb : process (din)
+  begin
+    dout <= ((din + g) * 5 + 5) mod 1000 after 7 ns;
+  end process;
+end fz_a1;
+
+entity fz_leaf1 is
+  generic ( g : integer := 7 );
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_leaf1;
+architecture fz_a0 of fz_leaf1 is
+begin
+  tick : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      dout <= ((din + g) * 2 + 2) mod 1000;
+    end if;
+  end process;
+end fz_a0;
+
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  component fz_leaf0
+    generic ( g : integer := 2 );
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  for u0 : fz_leaf0 use entity work.fz_leaf0(fz_a0);
+  function wired_or (bits : bit_vector) return bit is
+  begin
+    for i in bits'range loop
+      if bits(i) = '1' then
+        return '1';
+      end if;
+    end loop;
+    return '0';
+  end wired_or;
+  subtype rbit is wired_or bit;
+  signal clk : bit := '0';
+  signal d0 : integer := 0;
+  signal d1 : integer := 0;
+  signal bus0 : rbit := '0';
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+  u0 : fz_leaf0 port map ( clk => clk, din => d0, dout => d1 );
+  stim : process
+    variable v : integer := 0;
+  begin
+    for i in 1 to 8 loop
+      v := (v + 4) mod 1000;
+      d0 <= v;
+      wait for 7 ns;
+    end loop;
+    wait;
+  end process;
+  drv0 : bus0 <= '1' after 3 ns;
+  drv1 : bus0 <= '0' after 8 ns, '1' after 12 ns;
+  gen0 : for i in 0 to 3 generate
+    d1 <= d0;
+  end generate;
+end bench;
+
+configuration fz_cfg of fz_top is
+  for bench
+    for u0 : fz_leaf0 use entity work.fz_leaf0(fz_a0);
+    end for;
+  end for;
+end fz_cfg;

@@ -1,0 +1,16 @@
+-- repro-fuzz: expect=sim_error top=fz_top until_ns=300
+-- repro-fuzz: seed=7 index=4
+-- repro-fuzz: note=first seed-7 sweep: stimulus and feedback both drove d0 (generator bug, fixed); the unresolved multi-driver must stay a symmetric RuntimeError_ on both kernels
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  signal d0 : integer := 0;
+begin
+  stim : process
+  begin
+    wait for 10 ns;
+    d0 <= 1;
+    wait;
+  end process;
+  feedback : d0 <= (d0 + 1) mod 1000 after 5 ns;
+end bench;

@@ -1,0 +1,98 @@
+-- repro-fuzz: expect=ok top=fz_cfg until_ns=1000
+-- repro-fuzz: seed=7 index=18
+-- repro-fuzz: note=pinned from the first seed-7 sweep
+package fz_pkg is
+  constant k0 : integer := 5;
+  function step (x : integer) return integer;
+end fz_pkg;
+package body fz_pkg is
+  function step (x : integer) return integer is
+  begin
+    return (x + 3) mod 1000;
+  end step;
+end fz_pkg;
+
+entity fz_leaf0 is
+  generic ( g : integer := 7 );
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_leaf0;
+architecture fz_a0 of fz_leaf0 is
+begin
+  dout <= ((din + g) * 5 + 0) mod 1000 after 6 ns;
+end fz_a0;
+architecture fz_a1 of fz_leaf0 is
+begin
+  comb : process (din)
+  begin
+    dout <= ((din + g) * 4 + 2) mod 1000 after 1 ns;
+  end process;
+end fz_a1;
+
+use work.fz_pkg.all;
+entity fz_leaf1 is
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_leaf1;
+architecture fz_a0 of fz_leaf1 is
+begin
+  comb : process (din)
+  begin
+    dout <= step((din * 9 + 4) mod 1000) after 1 ns;
+  end process;
+end fz_a0;
+
+entity fz_mid is
+  port ( clk : in bit; din : in integer; dout : out integer );
+end fz_mid;
+architecture wrap of fz_mid is
+  component fz_leaf1
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  for w0 : fz_leaf1 use entity work.fz_leaf1(fz_a0);
+begin
+  w0 : fz_leaf1 port map ( clk => clk, din => din, dout => dout );
+end wrap;
+
+use work.fz_pkg.all;
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  component fz_leaf0
+    generic ( g : integer := 7 );
+    port ( clk : in bit; din : in integer; dout : out integer );
+  end component;
+  for u0 : fz_leaf0 use entity work.fz_leaf0(fz_a1);
+  signal clk : bit := '0';
+  signal d0 : integer := 0;
+  signal d1 : integer := 0;
+  signal hits : integer := 0;
+  signal kmirror : integer := k0;
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+  u0 : fz_leaf0 generic map ( g => 4 ) port map ( clk => clk, din => d0, dout => d1 );
+  stim : process
+  begin
+    wait for 9 ns;
+    d0 <= 936;
+    wait for 6 ns;
+    d0 <= 981;
+    wait;
+  end process;
+  mon : process
+  begin
+    wait until d1 /= 0;
+    hits <= hits + 1;
+    wait;
+  end process;
+  kmix : kmirror <= (d1 + k0) mod 1000;
+end bench;
+
+configuration fz_cfg of fz_top is
+  for bench
+    for u0 : fz_leaf0 use entity work.fz_leaf0(fz_a0);
+    end for;
+  end for;
+end fz_cfg;

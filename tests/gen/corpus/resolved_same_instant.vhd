@@ -1,0 +1,21 @@
+-- repro-fuzz: expect=ok top=fz_top until_ns=100
+-- repro-fuzz: note=three wired-or drivers firing at the same instants; resolution order and event counting must be kernel-independent
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  function wor (bits : bit_vector) return bit is
+  begin
+    for i in bits'range loop
+      if bits(i) = '1' then
+        return '1';
+      end if;
+    end loop;
+    return '0';
+  end wor;
+  subtype rbit is wor bit;
+  signal b : rbit := '0';
+begin
+  d0 : b <= '1' after 10 ns, '0' after 20 ns;
+  d1 : b <= '0' after 10 ns, '1' after 20 ns;
+  d2 : b <= '1' after 20 ns;
+end bench;

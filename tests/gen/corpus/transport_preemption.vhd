@@ -1,0 +1,15 @@
+-- repro-fuzz: expect=ok top=fz_top until_ns=100
+-- repro-fuzz: note=transport re-projection deletes queued transactions at and after the new time; calendar lazy deletion and the scan reference must agree on every counter
+entity fz_top is
+end fz_top;
+architecture bench of fz_top is
+  signal s : integer := 0;
+begin
+  stim : process
+  begin
+    s <= transport 1 after 10 ns, 2 after 20 ns, 3 after 30 ns;
+    wait for 5 ns;
+    s <= transport 9 after 10 ns;
+    wait;
+  end process;
+end bench;

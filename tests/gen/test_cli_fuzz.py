@@ -1,0 +1,124 @@
+"""The ``repro fuzz`` command: exit codes, formats, corpus dumps."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(l) for l in lines)
+
+
+class TestFuzzCommand:
+    def test_clean_sweep_exits_zero(self):
+        code, text = run_cli(
+            ["fuzz", "--seed", "7", "--budget", "6"])
+        assert code == 0
+        assert "seed=7 budget=6" in text
+        assert "FAIL" not in text
+
+    def test_json_format_is_an_envelope(self):
+        code, text = run_cli(
+            ["fuzz", "--seed", "7", "--budget", "4",
+             "--format", "json"])
+        assert code == 0
+        env = json.loads(text)
+        assert env["schema"] == "repro-metrics/1"
+        assert env["kind"] == "fuzz-report"
+        assert len(env["designs"]) == 4
+
+    def test_bad_budget_is_usage_error(self):
+        code, text = run_cli(["fuzz", "--budget", "0"])
+        assert code == 2
+
+    def test_metrics_flag_prints_fuzz_families(self):
+        code, text = run_cli(
+            ["fuzz", "--seed", "7", "--budget", "3", "--metrics"])
+        assert code == 0
+        assert "fuzz_designs_total" in text
+
+    def test_jobs_flag_matches_serial_output(self):
+        code1, text1 = run_cli(
+            ["fuzz", "--seed", "11", "--budget", "6",
+             "--format", "json"])
+        code4, text4 = run_cli(
+            ["fuzz", "--seed", "11", "--budget", "6", "--jobs", "4",
+             "--format", "json"])
+        assert code1 == code4 == 0
+        a, b = json.loads(text1), json.loads(text4)
+        for env in (a, b):
+            env.pop("elapsed_seconds")
+            env.pop("designs_per_second")
+            env.pop("generated_at", None)
+            env["jobs"] = 0
+        assert a == b
+
+    def test_failure_exits_one_and_dumps_corpus(self, tmp_path,
+                                                monkeypatch):
+        from repro.gen import runner as runner_mod
+
+        def fake_task(seed, index):
+            from repro.gen import generate_for
+            design = generate_for(seed, index)
+            return {
+                "index": index, "outcome": "divergence",
+                "detail": "synthetic divergence",
+                "features": list(design.features),
+                "lines": design.lines,
+                "choices": list(design.choices),
+                "lint_findings": 0, "seconds": 0.0,
+            }
+
+        monkeypatch.setattr(runner_mod, "fuzz_task", fake_task)
+        corpus_dir = str(tmp_path / "corpus")
+        code, text = run_cli(
+            ["fuzz", "--seed", "7", "--budget", "1", "--no-shrink",
+             "--corpus", corpus_dir])
+        assert code == 1
+        assert "FAIL design 0 [divergence]" in text
+        assert "replay: repro fuzz --seed 7 --budget 1" in text
+
+    def test_minimized_failure_written_to_corpus(self, tmp_path,
+                                                 monkeypatch):
+        from repro.gen import runner as runner_mod
+        real_check = runner_mod.check_design
+
+        def fake_check(design):
+            result = real_check(design)
+            if "package" in design.features:
+                result.outcome = "divergence"
+                result.detail = "synthetic: package"
+            return result
+
+        def fake_task(seed, index):
+            from repro.gen import generate_for
+            design = generate_for(seed, index)
+            result = fake_check(design)
+            return {
+                "index": index, "outcome": result.outcome,
+                "detail": result.detail,
+                "features": list(design.features),
+                "lines": design.lines,
+                "choices": list(design.choices),
+                "lint_findings": 0, "seconds": 0.0,
+            }
+
+        monkeypatch.setattr(runner_mod, "check_design", fake_check)
+        monkeypatch.setattr(runner_mod, "fuzz_task", fake_task)
+        corpus_dir = str(tmp_path / "corpus")
+        # seed 7 index 0 has a package; budget 1 keeps this quick.
+        code, text = run_cli(
+            ["fuzz", "--seed", "7", "--budget", "1",
+             "--corpus", corpus_dir])
+        if code == 0:
+            pytest.skip("seed 7 design 0 grew out of its package")
+        assert "minimized to" in text
+        files = list((tmp_path / "corpus").glob("*.vhd"))
+        assert files, "corpus dump expected"
+        body = files[0].read_text()
+        assert body.startswith("-- repro-fuzz:")
+        assert "UNFIXED" in body

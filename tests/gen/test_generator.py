@@ -1,0 +1,83 @@
+"""Generator determinism and structural invariants."""
+
+from repro.gen import generate_for, replay
+from repro.gen.grammar import UNTIL_CHOICES
+from repro.gen.tape import DecisionTape
+from repro.gen.grammar import generate_design
+
+
+class TestDeterminism:
+    def test_same_seed_index_byte_identical(self):
+        a = generate_for(7, 3)
+        b = generate_for(7, 3)
+        assert a.source == b.source
+        assert a.top == b.top
+        assert a.until_ns == b.until_ns
+        assert a.choices == b.choices
+
+    def test_generation_order_is_irrelevant(self):
+        forward = [generate_for(7, i).source for i in range(10)]
+        backward = [generate_for(7, i).source
+                    for i in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+    def test_distinct_indices_distinct_designs(self):
+        sources = {generate_for(7, i).source for i in range(20)}
+        assert len(sources) > 15
+
+    def test_replay_of_recorded_choices_reproduces(self):
+        design = generate_for(11, 5)
+        again = replay(design.choices, seed=11, index=5)
+        assert again.source == design.source
+        assert again.top == design.top
+
+    def test_zero_tape_yields_minimal_valid_design(self):
+        design = replay([])
+        assert "entity fz_top is" in design.source
+        assert design.top == "fz_top"
+        assert not any(f.startswith("invalid")
+                       for f in design.features)
+
+
+class TestStructure:
+    def test_every_design_has_a_bench(self):
+        for i in range(30):
+            design = generate_for(3, i)
+            assert "architecture bench of fz_top is" in design.source
+            assert design.until_ns in UNTIL_CHOICES
+            assert design.lines > 10
+
+    def test_config_unit_designs_elaborate_the_config(self):
+        seen = False
+        for i in range(60):
+            design = generate_for(3, i)
+            if "config_unit" in design.features:
+                seen = True
+                assert design.top == "fz_cfg"
+                assert "configuration fz_cfg of fz_top" \
+                    in design.source
+            else:
+                assert design.top == "fz_top"
+        assert seen, "config units should appear within 60 designs"
+
+    def test_feature_space_is_exercised(self):
+        seen = set()
+        for i in range(150):
+            seen.update(generate_for(5, i).features)
+        for feature in ("package", "generics", "mid", "config_spec",
+                        "config_unit", "resolved_bus", "feedback",
+                        "two_arch", "handshake"):
+            assert feature in seen, feature
+
+    def test_invalid_injection_is_rare_but_present(self):
+        invalid = sum(
+            any(f.startswith("invalid") for f in
+                generate_for(9, i).features)
+            for i in range(200))
+        assert 1 <= invalid <= 40
+
+    def test_tape_is_fully_recorded(self):
+        tape = DecisionTape(21)
+        design = generate_design(tape, seed=21, index=0)
+        assert design.choices == tape.choices
+        assert len(design.choices) == tape.draws

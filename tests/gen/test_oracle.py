@@ -1,0 +1,175 @@
+"""The differential oracle: outcome classification end to end."""
+
+from repro.diag import Diagnostic
+from repro.gen import check_source, generate_for, check_design
+from repro.gen.oracle import _compare, _simulate, NS
+from repro.sim.kernel import Kernel, ScanKernel
+
+
+GOOD = """
+entity t is end t;
+architecture a of t is
+  signal clk : bit := '0';
+  signal n : integer := 0;
+begin
+  clock : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+  count : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      n <= (n + 1) mod 16;
+    end if;
+  end process;
+end a;
+"""
+
+SYNTAX_ERROR = """
+entity broken is
+  port ( q : out integer )
+end broken;
+"""
+
+SEMANTIC_ERROR = """
+entity t is end t;
+architecture a of t is
+  signal x : integer := missing_name;
+begin
+end a;
+"""
+
+GENERATE_STMT = """
+entity t is end t;
+architecture a of t is
+  signal x : integer := 0;
+begin
+  g0 : for i in 0 to 3 generate
+    x <= 1;
+  end generate;
+end a;
+"""
+
+FAILING_ASSERT = """
+entity t is end t;
+architecture a of t is
+  signal x : integer := 0;
+begin
+  stim : process
+  begin
+    wait for 10 ns;
+    x <= 1;
+    wait;
+  end process;
+  watch : assert x = 0
+    report "x moved" severity failure;
+end a;
+"""
+
+DELTA_STORM = """
+entity t is end t;
+architecture a of t is
+  signal a1 : bit := '0';
+begin
+  p : a1 <= not a1;
+end a;
+"""
+
+
+class TestOutcomes:
+    def test_good_design_is_ok(self):
+        result = check_source(GOOD, "t", until_ns=200)
+        assert result.outcome == "ok"
+        assert not result.failed
+
+    def test_syntax_error_is_structured_rejection(self):
+        result = check_source(SYNTAX_ERROR, "broken")
+        assert result.outcome == "rejected"
+        assert result.diagnostics
+        assert all(isinstance(d, Diagnostic)
+                   for d in result.diagnostics)
+
+    def test_semantic_error_is_structured_rejection(self):
+        result = check_source(SEMANTIC_ERROR, "t")
+        assert result.outcome == "rejected"
+        assert result.diagnostics
+
+    def test_generate_statement_rejects_not_crashes(self):
+        result = check_source(GENERATE_STMT, "t")
+        assert result.outcome == "rejected"
+        assert result.diagnostics
+
+    def test_failure_severity_assert_is_sim_error(self):
+        result = check_source(FAILING_ASSERT, "t", until_ns=100)
+        assert result.outcome == "sim_error"
+        assert "AssertionFailure" in result.detail
+
+    def test_unbounded_delta_cycle_is_symmetric_sim_error(self):
+        result = check_source(DELTA_STORM, "t", until_ns=50)
+        assert result.outcome == "sim_error"
+        assert "SimulationError" in result.detail
+
+
+class TestSides:
+    def test_sides_agree_on_good_design(self):
+        from repro.vhdl.compiler import Compiler
+        from repro.vhdl.library import LibraryManager
+
+        library = LibraryManager(root=None)
+        Compiler(library=library, strict=False).compile(GOOD)
+        cal = _simulate(Kernel, library, "t", 100 * NS)
+        scan = _simulate(ScanKernel, library, "t", 100 * NS)
+        assert cal["error"] is None
+        assert cal["cycles"] > 0
+        assert cal["vcd"].startswith("$date")
+        assert _compare(cal, scan) is None
+
+    def test_compare_names_first_differing_key(self):
+        from repro.vhdl.compiler import Compiler
+        from repro.vhdl.library import LibraryManager
+
+        library = LibraryManager(root=None)
+        Compiler(library=library, strict=False).compile(GOOD)
+        cal = _simulate(Kernel, library, "t", 100 * NS)
+        scan = dict(_simulate(ScanKernel, library, "t", 100 * NS))
+        scan["cycles"] += 1
+        mismatch = _compare(cal, scan)
+        assert mismatch is not None and mismatch.startswith("cycles")
+
+    def test_metric_families_compared(self):
+        from repro.vhdl.compiler import Compiler
+        from repro.vhdl.library import LibraryManager
+
+        library = LibraryManager(root=None)
+        Compiler(library=library, strict=False).compile(GOOD)
+        cal = _simulate(Kernel, library, "t", 100 * NS)
+        assert "sim_cycles_total" in cal["metrics"]
+        assert "sim_signal_events_total" in cal["metrics"]
+
+
+class TestGeneratedSweep:
+    """A small inline conformance sweep — the harness's own smoke."""
+
+    def test_first_designs_never_fail(self):
+        for i in range(8):
+            design = generate_for(1, i)
+            result = check_design(design)
+            assert not result.failed, (i, result.detail)
+
+    def test_invalid_injections_reject_with_diagnostics(self):
+        seen = 0
+        for i in range(120):
+            design = generate_for(13, i)
+            if not any(f.startswith("invalid")
+                       for f in design.features):
+                continue
+            seen += 1
+            result = check_design(design)
+            assert result.outcome in ("rejected", "sim_error"), \
+                (i, result.outcome, result.detail)
+            if result.outcome == "rejected":
+                assert result.diagnostics
+            if seen >= 3:
+                break
+        assert seen, "no invalid injections in 120 designs"

@@ -1,0 +1,130 @@
+"""Tape-level shrinking: minimality, fixpoints, budgets, end-to-end."""
+
+import pytest
+
+from repro.gen import check_design, replay
+from repro.gen.reducer import shrink
+
+
+class TestListPredicates:
+    def test_shrinks_to_single_interesting_value(self):
+        choices = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8]
+
+        def has_big(choices):
+            return any(c >= 9 for c in choices)
+
+        result = shrink(choices, has_big)
+        assert result.choices == [9]
+        assert result.improved
+
+    def test_decreases_magnitudes(self):
+        def total_at_least_5(choices):
+            return sum(choices) >= 5
+
+        result = shrink([100, 200, 300], total_at_least_5)
+        assert sum(result.choices) == 5
+        assert len(result.choices) == 1
+
+    def test_preserves_positional_failure(self):
+        # Failure depends on position 2 being nonzero.
+        def third_nonzero(choices):
+            return len(choices) > 2 and choices[2] != 0
+
+        result = shrink([7, 8, 9, 10, 11], third_nonzero)
+        assert len(result.choices) == 3
+        assert result.choices[2] != 0
+        assert result.choices[0] == result.choices[1] == 0
+
+    def test_rejects_flaky_initial(self):
+        with pytest.raises(ValueError):
+            shrink([1, 2, 3], lambda c: False)
+
+    def test_eval_budget_is_respected(self):
+        calls = []
+        original = list(range(1, 101))
+
+        def only_original(choices):
+            calls.append(1)
+            return choices == original
+
+        result = shrink(original, only_original, max_evals=30)
+        assert len(calls) <= 30
+        assert result.exhausted
+        assert result.choices == original
+
+    def test_already_minimal_is_stable(self):
+        result = shrink([1], lambda c: bool(c) and c[0] == 1)
+        assert result.choices == [1]
+        assert not result.improved
+
+    def test_predicate_results_are_memoized(self):
+        seen = {}
+
+        def predicate(choices):
+            key = tuple(choices)
+            assert key not in seen, "predicate re-evaluated"
+            seen[key] = True
+            return sum(choices) >= 3
+
+        shrink([5, 5], predicate)
+
+
+class TestEndToEnd:
+    """The ISSUE contract: a shrunk design still reproduces the
+    original failure predicate."""
+
+    def test_shrunk_design_reproduces_failure(self):
+        # Treat "design instantiates a mid wrapper" as the failure
+        # of interest; the minimized tape must keep reproducing it
+        # through full replay.
+        from repro.gen import generate_for
+
+        target = None
+        for i in range(60):
+            design = generate_for(17, i)
+            if "mid" in design.features:
+                target = design
+                break
+        assert target is not None
+
+        def still_has_mid(choices):
+            return "mid" in replay(choices, seed=17,
+                                   index=target.index).features
+
+        result = shrink(target.choices, still_has_mid,
+                        max_evals=300)
+        minimized = replay(result.choices, seed=17,
+                           index=target.index)
+        assert "mid" in minimized.features
+        assert len(result.choices) <= len(target.choices)
+        assert minimized.lines <= target.lines
+
+    def test_shrunk_design_keeps_oracle_outcome(self):
+        # sim_error via an unresolved multi-driver: force the
+        # generated feedback design into a colliding second driver
+        # by replaying with an appended stanza is not possible —
+        # instead pin the outcome-preservation contract on a
+        # rejection (invalid injection) design.
+        from repro.gen import generate_for
+
+        target = None
+        for i in range(300):
+            design = generate_for(13, i)
+            if any(f.startswith("invalid")
+                   for f in design.features):
+                outcome = check_design(design).outcome
+                if outcome == "rejected":
+                    target = design
+                    break
+        assert target is not None
+
+        def still_rejected(choices):
+            replayed = replay(choices, seed=13, index=target.index)
+            return check_design(replayed).outcome == "rejected"
+
+        result = shrink(target.choices, still_rejected,
+                        max_evals=120)
+        minimized = replay(result.choices, seed=13,
+                           index=target.index)
+        assert check_design(minimized).outcome == "rejected"
+        assert minimized.lines <= target.lines

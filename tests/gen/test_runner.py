@@ -1,0 +1,164 @@
+"""The sweep engine: determinism across jobs, failure minimization,
+metrics, and the report envelope."""
+
+from repro.gen import runner as runner_mod
+from repro.gen.runner import FuzzReport, fuzz_task, run_sweep
+from repro.metrics import MetricsRegistry
+
+
+def _strip_timing(report):
+    return [{k: r[k] for k in ("index", "outcome", "lines",
+                               "features", "choices")}
+            for r in report.records]
+
+
+class TestDeterminism:
+    def test_jobs_1_and_4_are_byte_identical(self):
+        serial = run_sweep(3, 10, jobs=1)
+        forked = run_sweep(3, 10, jobs=4)
+        assert _strip_timing(serial) == _strip_timing(forked)
+        assert serial.counts == forked.counts
+
+    def test_two_serial_runs_identical(self):
+        a = run_sweep(5, 8, jobs=1)
+        b = run_sweep(5, 8, jobs=1)
+        assert _strip_timing(a) == _strip_timing(b)
+
+    def test_records_are_in_index_order(self):
+        report = run_sweep(1, 6, jobs=4)
+        assert [r["index"] for r in report.records] == list(range(6))
+
+
+class TestSweep:
+    def test_clean_sweep_reports_ok(self):
+        report = run_sweep(7, 8, jobs=1)
+        assert report.ok
+        assert sum(report.counts.values()) == 8
+        assert report.elapsed > 0
+        assert report.designs_per_second > 0
+
+    def test_envelope_shape(self):
+        report = run_sweep(7, 4, jobs=1)
+        env = report.as_envelope()
+        assert env["schema"] == "repro-metrics/1"
+        assert env["kind"] == "fuzz-report"
+        assert env["seed"] == 7
+        assert env["budget"] == 4
+        assert len(env["designs"]) == 4
+        assert env["failures"] == []
+
+    def test_metrics_families(self):
+        registry = MetricsRegistry()
+        run_sweep(7, 5, jobs=1, metrics=registry)
+        snap = registry.snapshot()["metrics"]
+        assert "fuzz_designs_total" in snap
+        assert "fuzz_design_lines" in snap
+        assert "fuzz_check_seconds" in snap
+        total = sum(s["value"]
+                    for s in snap["fuzz_designs_total"]["samples"])
+        assert total == 5
+
+    def test_fuzz_task_is_self_contained(self):
+        record = fuzz_task(7, 2)
+        assert record["index"] == 2
+        assert record["outcome"] in ("ok", "rejected", "sim_error",
+                                     "divergence", "crash")
+        assert record["choices"]
+        assert record["lines"] > 0
+
+
+class TestFailurePath:
+    def test_failing_designs_are_minimized(self, monkeypatch):
+        # Declare every design with a mid wrapper "divergent": the
+        # runner must shrink it and report both forms.
+        real_check = runner_mod.check_design
+
+        def fake_check(design):
+            result = real_check(design)
+            if "mid" in design.features:
+                result.outcome = "divergence"
+                result.detail = "synthetic: mid wrapper"
+            return result
+
+        monkeypatch.setattr(runner_mod, "check_design", fake_check)
+
+        def fake_task(seed, index):
+            from repro.gen import generate_for
+            design = generate_for(seed, index)
+            result = fake_check(design)
+            return {
+                "index": index, "outcome": result.outcome,
+                "detail": result.detail,
+                "features": list(design.features),
+                "lines": design.lines,
+                "choices": list(design.choices),
+                "lint_findings": 0, "seconds": 0.0,
+            }
+
+        monkeypatch.setattr(runner_mod, "fuzz_task", fake_task)
+        registry = MetricsRegistry()
+        report = run_sweep(17, 12, jobs=1, metrics=registry,
+                           max_shrink_evals=150)
+        assert not report.ok
+        assert report.counts.get("divergence", 0) >= 1
+        failure = report.failures[0]
+        assert failure["shrunk"]
+        assert failure["min_lines"] <= failure["lines"]
+        assert "mid" in runner_mod.replay(
+            failure["min_choices"], seed=17,
+            index=failure["index"]).features
+        snap = registry.snapshot()["metrics"]
+        assert snap["fuzz_shrink_evals"]["samples"][0]["count"] >= 1
+
+    def test_no_shrink_reports_raw_failure(self, monkeypatch):
+        def fake_task(seed, index):
+            return {
+                "index": index, "outcome": "crash",
+                "detail": "synthetic crash", "features": [],
+                "lines": 3, "choices": [1, 2, 3],
+                "lint_findings": 0, "seconds": 0.0,
+            }
+
+        monkeypatch.setattr(runner_mod, "fuzz_task", fake_task)
+        report = run_sweep(1, 2, jobs=1, shrink_failures=False)
+        assert not report.ok
+        assert all(not f["shrunk"] for f in report.failures)
+        assert all("replay" in f for f in report.failures)
+
+    def test_dead_worker_is_a_crash_outcome(self):
+        record = runner_mod._task_crash((7, 4),
+                                        RuntimeError("boom"))
+        assert record["outcome"] == "crash"
+        assert record["index"] == 4
+        assert "boom" in record["detail"]
+
+    def test_flaky_failure_reported_unshrunk(self, monkeypatch):
+        # The sweep sees a failure, but replaying never reproduces
+        # it: the runner must fall back to the unshrunk report.
+        def fake_task(seed, index):
+            return {
+                "index": index, "outcome": "divergence",
+                "detail": "flaky", "features": [],
+                "lines": 3, "choices": [5, 5],
+                "lint_findings": 0, "seconds": 0.0,
+            }
+
+        def never_fails(design):
+            class R:
+                outcome = "ok"
+            return R()
+
+        monkeypatch.setattr(runner_mod, "fuzz_task", fake_task)
+        monkeypatch.setattr(runner_mod, "check_design", never_fails)
+        report = run_sweep(1, 1, jobs=1)
+        assert not report.ok
+        failure = report.failures[0]
+        assert not failure["shrunk"]
+        assert "shrink_error" in failure
+
+
+class TestReport:
+    def test_empty_report(self):
+        report = FuzzReport(1, 0, 1)
+        assert report.ok
+        assert report.designs_per_second == 0.0

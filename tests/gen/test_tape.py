@@ -1,0 +1,128 @@
+"""The decision tape: determinism, replay totality, shrink encoding."""
+
+import pytest
+
+from repro.gen.tape import DecisionTape, mix_seed, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(1) == splitmix64(1)
+        assert splitmix64(1) != splitmix64(2)
+
+    def test_outputs_are_64bit(self):
+        state, out = splitmix64((1 << 64) - 1)
+        assert 0 <= state < 1 << 64
+        assert 0 <= out < 1 << 64
+
+
+class TestMixSeed:
+    def test_function_of_seed_and_index_only(self):
+        assert mix_seed(7, 3) == mix_seed(7, 3)
+
+    def test_indices_get_distinct_streams(self):
+        streams = {mix_seed(7, i) for i in range(100)}
+        assert len(streams) == 100
+
+    def test_seeds_get_distinct_streams(self):
+        assert mix_seed(1, 0) != mix_seed(2, 0)
+
+
+class TestGenerateMode:
+    def test_same_seed_same_draws(self):
+        a = DecisionTape(42)
+        b = DecisionTape(42)
+        assert [a.draw(10) for _ in range(50)] == \
+            [b.draw(10) for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = [DecisionTape(1).draw(1000) for _ in range(1)]
+        b = [DecisionTape(2).draw(1000) for _ in range(1)]
+        # One draw can collide; twenty shouldn't.
+        a = DecisionTape(1)
+        b = DecisionTape(2)
+        assert [a.draw(1000) for _ in range(20)] != \
+            [b.draw(1000) for _ in range(20)]
+
+    def test_records_choices(self):
+        tape = DecisionTape(7)
+        drawn = [tape.draw(5) for _ in range(10)]
+        assert tape.choices == drawn
+        assert tape.draws == 10
+
+    def test_seed_zero_is_valid(self):
+        tape = DecisionTape(0)
+        values = [tape.draw(100) for _ in range(10)]
+        assert any(values), "seed 0 must still produce a live stream"
+
+    def test_draw_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            DecisionTape(1).draw(0)
+
+
+class TestReplayMode:
+    def test_replays_recorded_choices(self):
+        tape = DecisionTape(9)
+        drawn = [tape.draw(7) for _ in range(20)]
+        replay = DecisionTape.replaying(tape.choices)
+        assert [replay.draw(7) for _ in range(20)] == drawn
+
+    def test_out_of_range_values_fold(self):
+        replay = DecisionTape.replaying([13])
+        assert replay.draw(5) == 13 % 5
+
+    def test_exhausted_tape_returns_zero(self):
+        replay = DecisionTape.replaying([3])
+        assert replay.draw(5) == 3
+        assert replay.draw(5) == 0
+        assert replay.draw(9) == 0
+
+    def test_any_integer_list_is_a_valid_tape(self):
+        replay = DecisionTape.replaying([10**9, 0, 7, 123456])
+        for n in (3, 5, 2, 7, 11):
+            value = replay.draw(n)
+            assert 0 <= value < n
+
+    def test_replay_rerecords_folded_choices(self):
+        replay = DecisionTape.replaying([13, 99])
+        replay.draw(5)
+        replay.draw(10)
+        assert replay.choices == [13 % 5, 99 % 10]
+
+
+class TestConveniences:
+    def test_randint_inclusive(self):
+        tape = DecisionTape(11)
+        values = {tape.randint(3, 6) for _ in range(200)}
+        assert values == {3, 4, 5, 6}
+
+    def test_choice(self):
+        tape = DecisionTape(11)
+        seq = ("a", "b", "c")
+        assert all(tape.choice(seq) in seq for _ in range(20))
+
+    def test_weighted_zero_draw_hits_first_pair(self):
+        replay = DecisionTape.replaying([0])
+        assert replay.weighted((("simple", 1), ("complex", 9))) \
+            == "simple"
+
+    def test_weighted_respects_weights(self):
+        tape = DecisionTape(5)
+        picks = [tape.weighted((("a", 1), ("b", 99)))
+                 for _ in range(100)]
+        assert picks.count("b") > picks.count("a")
+
+    def test_chance_zero_draw_is_false(self):
+        replay = DecisionTape.replaying([0, 0, 0])
+        assert replay.chance(1, 2) is False
+        assert replay.chance(9, 10) is False
+
+    def test_chance_numerator_zero_draws_nothing(self):
+        tape = DecisionTape(1)
+        assert tape.chance(0, 4) is False
+        assert tape.draws == 0
+
+    def test_chance_frequency(self):
+        tape = DecisionTape(19)
+        hits = sum(tape.chance(1, 4) for _ in range(1000))
+        assert 150 < hits < 350

@@ -1,0 +1,133 @@
+"""Socket-level hardening: generated invalid inputs through
+``/compile`` must come back as structured JSONL diagnostics with a
+non-500 status — never a raw traceback through the service."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.gen import generate_for
+from repro.serve import BackgroundServer
+
+
+def request(port, method, path, body=None, raw=None, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port,
+                                      timeout=timeout)
+    try:
+        payload = raw if raw is not None else (
+            None if body is None else json.dumps(body))
+        conn.request(method, path, body=payload)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def parse_jsonl(text):
+    return [json.loads(line) for line in text.splitlines() if line]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(workers=2, batch_window=0.005) as handle:
+        yield handle
+
+
+def _invalid_designs(count=3):
+    """Generated designs carrying a deliberate invalid injection."""
+    found = []
+    for i in range(400):
+        design = generate_for(13, i)
+        if any(f.startswith("invalid") for f in design.features):
+            found.append(design)
+            if len(found) == count:
+                break
+    assert found, "no invalid injections found"
+    return found
+
+
+class TestGeneratedInvalidInputs:
+    def test_rejections_are_structured_and_non_500(self, server):
+        for k, design in enumerate(_invalid_designs()):
+            status, data = request(
+                server.port, "POST", "/compile",
+                {"session": "inv%d" % k,
+                 "files": [{"name": "bad%d.vhd" % k,
+                            "text": design.source}]})
+            assert status != 500, data
+            assert data["ok"] is False
+            diags = parse_jsonl(data["diagnostics_jsonl"])
+            assert diags, data
+            for diag in diags:
+                assert diag["code"]
+                assert diag["severity"]
+                assert diag["message"]
+            assert "Traceback" not in json.dumps(data)
+
+    def test_garbage_bytes_compile(self, server):
+        status, data = request(
+            server.port, "POST", "/compile",
+            {"session": "garbage",
+             "files": [{"name": "junk.vhd",
+                        "text": "@#$% entity ;; architecture"}]})
+        assert status != 500
+        assert data["ok"] is False
+        assert parse_jsonl(data["diagnostics_jsonl"])
+
+    def test_truncated_generated_design(self, server):
+        design = generate_for(7, 0)
+        # Cut inside the final unit so the tail is always dangling.
+        lines = design.source.splitlines()
+        truncated = "\n".join(lines[:len(lines) - 2])
+        status, data = request(
+            server.port, "POST", "/compile",
+            {"session": "trunc",
+             "files": [{"name": "cut.vhd", "text": truncated}]})
+        assert status != 500
+        assert data["ok"] is False
+        assert parse_jsonl(data["diagnostics_jsonl"])
+
+
+class TestMalformedRequests:
+    def test_bad_file_entry_is_400_with_diagnostics(self, server):
+        status, data = request(
+            server.port, "POST", "/compile",
+            {"files": [{"name": "../escape.vhd", "text": ""}]})
+        assert status == 400
+        diags = parse_jsonl(data["diagnostics_jsonl"])
+        assert diags and diags[0]["code"] == "SRV001"
+
+    def test_missing_text_is_400_with_diagnostics(self, server):
+        status, data = request(
+            server.port, "POST", "/compile",
+            {"files": [{"name": "a.vhd"}]})
+        assert status == 400
+        assert parse_jsonl(data["diagnostics_jsonl"])
+
+    def test_non_json_body_is_400_with_diagnostics(self, server):
+        status, data = request(server.port, "POST", "/compile",
+                               raw="this is not json")
+        assert status == 400
+        assert parse_jsonl(data["diagnostics_jsonl"])
+
+    def test_unknown_route_is_404_with_diagnostics(self, server):
+        status, data = request(server.port, "GET", "/nope")
+        assert status == 404
+        assert parse_jsonl(data["diagnostics_jsonl"])
+
+    def test_valid_design_still_round_trips(self, server):
+        design = generate_for(7, 1)
+        status, data = request(
+            server.port, "POST", "/compile",
+            {"session": "good",
+             "files": [{"name": "good.vhd",
+                        "text": design.source}]})
+        assert status == 200
+        assert data["ok"] is True, data
+        status, data = request(
+            server.port, "POST", "/sim",
+            {"session": "good", "top": design.top,
+             "until": "%dns" % design.until_ns})
+        assert status == 200
+        assert data["ok"] is True, data
