@@ -139,6 +139,20 @@ class IncrementalBuilder:
         report.jobs = self.jobs
         tracer = Tracer()
 
+        # One root span over the whole build: every phase below it —
+        # including worker-side spans shipped back across the fork
+        # boundary — forms a single connected tree, which attaches to
+        # the caller's ambient span (e.g. a serve request) when one
+        # is active.
+        with tracer.phase("build", cat="build", files=len(paths)):
+            self._build_steps(paths, force, lint, report, tracer)
+
+        report.stats = dict(self.cache.stats)
+        report.trace_events = tracer.events
+        return report
+
+    def _build_steps(self, paths, force, lint, report, tracer):
+        """The traced body of :meth:`build` (one span per phase)."""
         texts = {}
         with tracer.phase("read_sources", files=len(paths)):
             for path in paths:
@@ -219,9 +233,6 @@ class IncrementalBuilder:
         if lint is not None:
             with tracer.phase("lint", files=len(report.units)):
                 self._lint(report, lint)
-        report.stats = dict(self.cache.stats)
-        report.trace_events = tracer.events
-        return report
 
     def _lint(self, report, lint):
         """Invoke the lint engine per built unit, in build order."""

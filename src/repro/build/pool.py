@@ -17,6 +17,20 @@ completion order.
 import multiprocessing
 import os
 
+from repro.trace.context import SpanContext, current_context, use
+
+
+def _call_with_context(fn, ctx_dict, args):
+    """Worker-side shim: re-activate the submitter's span context.
+
+    Top-level (picklable) on purpose.  The forked worker runs ``fn``
+    under the deserialized context, so any ``Tracer.phase`` the task
+    records parents into the submitting job's span tree.
+    """
+    ctx = SpanContext.from_dict(ctx_dict) if ctx_dict else None
+    with use(ctx):
+        return fn(*args)
+
 
 def fork_available():
     return (
@@ -60,7 +74,16 @@ class ForkPool:
         if not self.parallel or len(argtuples) == 1:
             return [self._run_inline(fn, args) for args in argtuples]
         executor = self._ensure_executor()
-        futures = [executor.submit(fn, *args) for args in argtuples]
+        # Ship the ambient span context (if any) with every task, so
+        # worker-side tracer events re-parent into the submitter's
+        # span.  Inline runs need nothing: the context is already
+        # ambient in this thread.
+        ctx = current_context()
+        ctx_dict = ctx.to_dict() if ctx is not None else None
+        futures = [
+            executor.submit(_call_with_context, fn, ctx_dict, args)
+            for args in argtuples
+        ]
         results = []
         for args, future in zip(argtuples, futures):
             try:

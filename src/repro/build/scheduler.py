@@ -20,6 +20,8 @@ completion order, so §3.3's usage-history-dependent
 latest-architecture default stays reproducible.
 """
 
+import os
+
 from .fingerprint import interface_digest
 from .pool import ForkPool, fork_available
 
@@ -144,7 +146,13 @@ def compile_file_task(root, work, reference_libs, path):
     )
     compiler = Compiler(library=library, work=work, strict=False)
     try:
-        result = compiler.compile_file(path)
+        # One wrapping span per file: in a forked worker the pool has
+        # re-activated the submitting batch's span context, so this
+        # (and the compiler phases nested in it) re-parent into the
+        # driver's tree across the process boundary.
+        with compiler.tracer.phase("compile_file", cat="build",
+                                   file=os.path.basename(path)):
+            result = compiler.compile_file(path)
     except (CompileError, OSError) as exc:
         messages = getattr(exc, "messages", None) or [str(exc)]
         diagnostics = [

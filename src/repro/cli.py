@@ -241,6 +241,28 @@ def _make_parser():
     p.add_argument("--update", action="store_true",
                    help="rewrite the baseline from a fresh run "
                         "instead of checking")
+
+    p = sub.add_parser(
+        "trace",
+        help="analyze span trees: merge Chrome-trace / span-JSONL "
+             "files, render the tree, list the slowest spans, or "
+             "roll time up per phase path")
+    p.add_argument("traces", nargs="+", metavar="FILE",
+                   help="Chrome trace JSON (or a /trace dump / "
+                        "span JSONL) files to merge and analyze")
+    p.add_argument("--view", default="tree",
+                   choices=("tree", "slowest", "rollup", "summary"),
+                   help="tree: indented span forest; slowest: top "
+                        "spans by duration; rollup: flame-style "
+                        "per-path totals; summary: connectivity "
+                        "report as JSON")
+    p.add_argument("--trace-id", default=None, metavar="ID",
+                   help="restrict the analysis to one trace")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="cap the rows/spans printed")
+    p.add_argument("--merge-out", default=None, metavar="FILE",
+                   help="also write the merged events as one Chrome "
+                        "trace JSON")
     return parser
 
 
@@ -288,6 +310,9 @@ def _emit_trace(tracer, args, out, default_path=None):
     if path is None and args.profile:
         path = default_path
     if path:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         tracer.write(path)
         out("trace written to %s" % path)
 
@@ -337,7 +362,8 @@ def cmd_compile(args, out):
         out(compiler.tracer.summary("compile profile"))
         out(compiler.observer.summary())
     _emit_trace(compiler.tracer, args, out,
-                default_path="repro-compile-trace.json")
+                default_path=os.path.join(
+                    "bench-out", "repro-compile-trace.json"))
     if _wants_metrics(args):
         from .metrics.bridge import bridge_observer, bridge_tracer
 
@@ -561,12 +587,29 @@ def cmd_list(args, out):
 
 
 def cmd_simulate(args, out):
+    from contextlib import nullcontext
+
     from .sim import Kernel
     from .sim.tracing import Tracer, format_fs
     from .vhdl.elaborate import Elaborator
 
     registry = _registry_for(args)
-    kernel = Kernel(metrics=registry)
+    span_tracer = None
+    if args.trace_out or args.profile:
+        from .diag.trace import Tracer as SpanTracer
+
+        span_tracer = SpanTracer()
+
+    def _span(name, **spargs):
+        if span_tracer is None:
+            return nullcontext()
+        return span_tracer.phase(name, cat="cli", **spargs)
+
+    # Sampled kernel spans (every 100th timestep / resume) keep the
+    # trace readable on long runs while still exposing the §2.2-style
+    # where-did-the-time-go breakdown down to delta cycles.
+    kernel = Kernel(metrics=registry, trace=span_tracer,
+                    trace_sample=100)
     top = args.top
     compiler = None
     if top.endswith((".vhd", ".vhdl")) or os.path.isfile(top):
@@ -599,18 +642,21 @@ def cmd_simulate(args, out):
         top = entities[-1]
     else:
         library = _library(args)
-    elab = Elaborator(library, kernel=kernel)
-    sim = elab.elaborate(top, arch_name=args.arch)
-    tracer = None
-    if args.trace or args.vcd:
-        signals = []
-        for suffix in args.trace or ["*"]:
-            for path in sim.names.by_suffix(suffix):
-                if sim.names.kind_of(path) == "signal":
-                    signals.append(sim.names.lookup(path))
-        tracer = Tracer(sim.kernel, signals or None)
-    until = _parse_time(args.until)
-    end = sim.run(until_fs=until)
+    with _span("sim", top=str(top)):
+        with _span("elaborate"):
+            elab = Elaborator(library, kernel=kernel)
+            sim = elab.elaborate(top, arch_name=args.arch)
+        tracer = None
+        if args.trace or args.vcd:
+            signals = []
+            for suffix in args.trace or ["*"]:
+                for path in sim.names.by_suffix(suffix):
+                    if sim.names.kind_of(path) == "signal":
+                        signals.append(sim.names.lookup(path))
+            tracer = Tracer(sim.kernel, signals or None)
+        until = _parse_time(args.until)
+        with _span("kernel_run"):
+            end = sim.run(until_fs=until)
     out("simulation stopped at %s (%d cycles)"
         % (format_fs(end), sim.kernel.cycles))
     for path, sig in sim.names.signals():
@@ -637,6 +683,16 @@ def cmd_simulate(args, out):
             kernel, args.top_n if args.top_n is not None else 5))
         out(format_calendar_stats(kernel))
         _emit_metrics(registry, args, out, "simulation metrics")
+    if span_tracer is not None:
+        if compiler is not None:
+            # One merged trace: compile phases + elaboration + the
+            # sampled kernel timeline.
+            span_tracer.add_events(compiler.tracer.events)
+        if args.profile:
+            out(span_tracer.summary("sim profile"))
+        _emit_trace(span_tracer, args, out,
+                    default_path=os.path.join(
+                        "bench-out", "repro-sim-trace.json"))
     return 0
 
 
@@ -797,6 +853,64 @@ def cmd_bench_check(args, out):
     return rc
 
 
+def cmd_trace(args, out):
+    try:
+        return _cmd_trace(args, out)
+    except BrokenPipeError:
+        # `repro trace big.json | head` closing the pipe early is
+        # normal operator behavior, not an error.
+        return 0
+
+
+def _cmd_trace(args, out):
+    from .trace import analyze
+
+    try:
+        event_lists = [analyze.load_spans(p) for p in args.traces]
+    except OSError as exc:
+        out("trace: %s" % exc)
+        return 2
+    except ValueError as exc:
+        out("trace: not a trace file: %s" % exc)
+        return 2
+    events = analyze.merge_spans(*event_lists)
+    if args.merge_out:
+        parent = os.path.dirname(args.merge_out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = "%s.tmp.%d" % (args.merge_out, os.getpid())
+        with open(tmp, "w") as f:
+            json.dump({"traceEvents": events,
+                       "displayTimeUnit": "ms"}, f, sort_keys=True)
+        os.replace(tmp, args.merge_out)
+        out("merged trace written to %s" % args.merge_out)
+    report = analyze.validate(events, trace_id=args.trace_id)
+    if args.view == "summary":
+        out(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    out("%d span(s) in %d trace(s): %d root(s), %d unresolved "
+        "parent(s), %d process(es)"
+        % (report["spans"], len(report["trace_ids"]),
+           report["roots"], report["unresolved_parents"],
+           len(report["pids"])))
+    if args.view == "tree":
+        for line in analyze.render_tree(events, trace_id=args.trace_id,
+                                        max_spans=args.limit):
+            out(line)
+    elif args.view == "slowest":
+        for span in analyze.slowest_spans(
+                events, n=args.limit or 10, trace_id=args.trace_id):
+            out("%12.3f ms  %-28s pid %-7s trace %s"
+                % (span.get("dur", 0) / 1000.0,
+                   span.get("name", "?"), span.get("pid", "?"),
+                   (span.get("trace_id") or "-")[:16]))
+    else:  # rollup
+        rows = analyze.rollup(events, trace_id=args.trace_id)
+        for line in analyze.render_rollup(rows, limit=args.limit):
+            out(line)
+    return 0
+
+
 COMMANDS = {
     "build": cmd_build,
     "compile": cmd_compile,
@@ -809,6 +923,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "fuzz": cmd_fuzz,
     "bench-check": cmd_bench_check,
+    "trace": cmd_trace,
 }
 
 

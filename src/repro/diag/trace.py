@@ -20,6 +20,13 @@ analysis needs at build scale.
 Timestamps use ``time.time()`` (epoch microseconds) so events recorded
 in different processes share a clock; durations use
 ``time.perf_counter()`` for resolution.
+
+Every complete event also carries a span identity (``trace_id`` /
+``span_id`` / ``parent_id``) from :mod:`repro.trace.context`: a
+``phase`` opens a child of the ambient span context (or starts a fresh
+trace when none is active) and makes itself ambient for the body, so
+nested phases — including ones recorded by forked workers that
+received the pickled context — form one connected tree.
 """
 
 import json
@@ -27,6 +34,15 @@ import os
 import threading
 import time
 from contextlib import contextmanager
+
+from repro.trace.context import (
+    SpanContext,
+    current_context,
+    make_span,
+    stamp,
+    thread_index,
+    use,
+)
 
 
 class Tracer:
@@ -49,6 +65,8 @@ class Tracer:
             with tracer.phase("scan") as ev: ...
             seconds = ev["dur"] / 1e6
         """
+        parent = current_context()
+        ctx = parent.child() if parent is not None else SpanContext()
         event = {
             "name": name,
             "cat": cat,
@@ -56,13 +74,15 @@ class Tracer:
             "ts": time.time() * 1e6,
             "dur": 0.0,
             "pid": os.getpid(),
-            "tid": threading.get_ident() & 0xFFFF,
+            "tid": thread_index(),
         }
+        stamp(event, ctx)
         if args:
             event["args"] = dict(args)
         t0 = time.perf_counter()
         try:
-            yield event
+            with use(ctx):
+                yield event
         finally:
             event["dur"] = (time.perf_counter() - t0) * 1e6
             with self._lock:
@@ -70,6 +90,7 @@ class Tracer:
 
     def instant(self, name, cat="mark", **args):
         """Record an instant event (a vertical line in the viewer)."""
+        parent = current_context()
         event = {
             "name": name,
             "cat": cat,
@@ -77,8 +98,10 @@ class Tracer:
             "s": "p",
             "ts": time.time() * 1e6,
             "pid": os.getpid(),
-            "tid": threading.get_ident() & 0xFFFF,
+            "tid": thread_index(),
         }
+        if parent is not None:
+            stamp(event, parent.child())
         if args:
             event["args"] = dict(args)
         with self._lock:
@@ -100,6 +123,19 @@ class Tracer:
             self.events.append(event)
         return event
 
+    def complete(self, name, ts_us, dur_us, cat="span", ctx=None, **args):
+        """Record a retroactive complete event with explicit identity.
+
+        For spans whose bounds were measured elsewhere (a sampled
+        kernel timestep, a request's queue wait): the caller passes
+        epoch-µs start, µs duration, and optionally the
+        :class:`~repro.trace.context.SpanContext` naming the span.
+        """
+        event = make_span(name, ctx, ts_us, dur_us, cat=cat, **args)
+        with self._lock:
+            self.events.append(event)
+        return event
+
     def add_events(self, events):
         """Merge events recorded elsewhere (e.g. by a fork worker)."""
         with self._lock:
@@ -107,10 +143,14 @@ class Tracer:
 
     # -- aggregation -------------------------------------------------------
 
+    def _snapshot(self):
+        with self._lock:
+            return list(self.events)
+
     def phase_seconds(self):
         """Total seconds per phase name, over all merged events."""
         out = {}
-        for event in self.events:
+        for event in self._snapshot():
             if event.get("ph") != "X":
                 continue
             out[event["name"]] = (
@@ -120,18 +160,26 @@ class Tracer:
 
     def pids(self):
         """Distinct process ids that contributed events."""
-        return sorted({e.get("pid") for e in self.events
+        return sorted({e.get("pid") for e in self._snapshot()
                        if e.get("pid") is not None})
 
     def summary(self, title="profile"):
         """A per-phase wall-time table, slowest first."""
-        totals = self.phase_seconds()
+        events = self._snapshot()
+        totals = {}
         counts = {}
-        for event in self.events:
+        pids = set()
+        for event in events:
+            if event.get("pid") is not None:
+                pids.add(event["pid"])
             if event.get("ph") == "X":
+                totals[event["name"]] = (
+                    totals.get(event["name"], 0.0)
+                    + event.get("dur", 0.0) / 1e6
+                )
                 counts[event["name"]] = counts.get(event["name"], 0) + 1
         lines = ["%s: %d event(s) from %d process(es)"
-                 % (title, len(self.events), len(self.pids()))]
+                 % (title, len(events), len(pids))]
         for name in sorted(totals, key=totals.get, reverse=True):
             lines.append("  %-28s %10.3f ms  x%d"
                          % (name, totals[name] * 1e3, counts[name]))

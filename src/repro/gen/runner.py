@@ -25,6 +25,7 @@ import time
 from ..build.pool import ForkPool
 from ..metrics import NULL_REGISTRY
 from ..metrics.registry import SECONDS_BUCKETS, envelope, log125_buckets
+from ..trace.context import current_context, make_span
 from .grammar import generate_for, replay
 from .oracle import FAILURE_OUTCOMES, check_design
 from .reducer import shrink
@@ -37,11 +38,22 @@ SHRINK_BUCKETS = log125_buckets(1, 10**4)
 
 
 def fuzz_task(seed, index):
-    """Generate + check design ``index``; picklable in, pickle out."""
+    """Generate + check design ``index``; picklable in, pickle out.
+
+    When the submitter activated a span context (a traced sweep —
+    e.g. a serve-driven one), the pool re-activates it in the worker
+    and the record ships a ``fuzz_design`` span parented into the
+    sweep's tree.  With no ambient context (the normal ``repro fuzz``
+    CLI path) the record is byte-identical to before — the jobs=N vs
+    serial determinism check in CI compares full envelopes.
+    """
+    ctx = current_context()
     design = generate_for(seed, index)
+    ts_us = time.time() * 1e6
     t0 = time.perf_counter()
     result = check_design(design)
-    return {
+    seconds = time.perf_counter() - t0
+    record = {
         "index": index,
         "outcome": result.outcome,
         "detail": result.detail,
@@ -49,8 +61,13 @@ def fuzz_task(seed, index):
         "lines": design.lines,
         "choices": list(design.choices),
         "lint_findings": result.lint_findings,
-        "seconds": round(time.perf_counter() - t0, 6),
+        "seconds": round(seconds, 6),
     }
+    if ctx is not None:
+        record["trace"] = [make_span(
+            "fuzz_design", ctx.child(), ts_us, seconds * 1e6,
+            cat="fuzz", index=index, outcome=result.outcome)]
+    return record
 
 
 def _task_crash(args, exc):
@@ -73,7 +90,7 @@ class FuzzReport:
     """Aggregated sweep outcome."""
 
     __slots__ = ("seed", "budget", "jobs", "counts", "failures",
-                 "records", "elapsed", "shrunk")
+                 "records", "elapsed", "shrunk", "trace_events")
 
     def __init__(self, seed, budget, jobs):
         self.seed = seed
@@ -84,6 +101,7 @@ class FuzzReport:
         self.records = []  # per-design records, index order
         self.elapsed = 0.0
         self.shrunk = 0
+        self.trace_events = []  # worker spans (traced sweeps only)
 
     @property
     def ok(self):
@@ -135,6 +153,7 @@ def run_sweep(seed, budget, jobs=1, shrink_failures=True,
             fuzz_task, [(seed, i) for i in range(budget)])
     for record in records:
         report.records.append(record)
+        report.trace_events.extend(record.get("trace", ()))
         outcome = record["outcome"]
         report.counts[outcome] = report.counts.get(outcome, 0) + 1
         m_designs.labels(outcome=outcome).inc()

@@ -604,6 +604,73 @@ def scenario_fuzz():
                     checks=checks, timings=timings, metrics=metrics)
 
 
+def scenario_trace():
+    """The tracing gate.  Two invariants: (a) a kernel constructed
+    with ``trace=None`` must cost what it always cost — the disabled
+    path is one hoisted bool test per cycle, pinned by
+    ``normalized_cost_disabled`` (``max``); (b) with every timestep
+    and resume traced (``trace_sample=1``) the span counts are a pure
+    function of the design — ``exact`` — and the traced cost is
+    pinned loosely (``max``, tracing is allowed to cost something)."""
+    from ..diag.trace import Tracer
+    from ..sim import Kernel
+    from ..trace.context import SpanContext, use
+    from ..vhdl.compiler import Compiler
+    from ..vhdl.elaborate import Elaborator
+
+    compiler = Compiler(strict=False)
+    result = compiler.compile(_SIM_SOURCE)
+    if not result.ok:
+        raise RuntimeError("bench-check design failed to compile: %s"
+                           % result.messages[:3])
+
+    def run(trace=None):
+        kernel = Kernel(trace=trace, trace_sample=1)
+        sim = Elaborator(compiler.library,
+                         kernel=kernel).elaborate("gate_top")
+        sim.run(until_fs=_SIM_UNTIL_FS)
+        return kernel
+
+    ratio_off, best_off, calib, kernel_off = normalized_cost(run)
+
+    def run_traced():
+        tracer = Tracer()
+        with use(SpanContext()):
+            kernel = run(trace=tracer)
+        return tracer, kernel
+
+    ratio_on, best_on, _, (tracer, _kernel_on) = normalized_cost(
+        run_traced)
+
+    timesteps = sum(1 for e in tracer.events
+                    if e.get("name") == "timestep")
+    resumes = sum(1 for e in tracer.events
+                  if e.get("name") == "process_resume")
+    roots = sum(1 for e in tracer.events
+                if e.get("ph") == "X" and not e.get("parent_id"))
+    values = {
+        "cycles": kernel_off.cycles,
+        "span_timesteps": timesteps,
+        "span_resumes": resumes,
+        "orphan_spans": roots,
+        "normalized_cost_disabled": round(ratio_off, 4),
+        "normalized_cost_enabled": round(ratio_on, 4),
+    }
+    checks = {
+        "cycles": "exact",
+        "span_timesteps": "exact",
+        "span_resumes": "exact",
+        "orphan_spans": "exact",
+        "normalized_cost_disabled": "max",
+        "normalized_cost_enabled": "max",
+    }
+    timings = {"run_disabled_s": round(best_off, 6),
+               "run_enabled_s": round(best_on, 6),
+               "calibration_s": round(calib, 6)}
+    return envelope("bench", bench="trace", values=values,
+                    checks=checks, timings=timings)
+
+
 SCENARIOS = {
     "simulation": scenario_simulation,
     "incremental": scenario_incremental,
@@ -611,6 +678,7 @@ SCENARIOS = {
     "kernel_scaling": scenario_kernel_scaling,
     "serve": scenario_serve,
     "fuzz": scenario_fuzz,
+    "trace": scenario_trace,
 }
 
 

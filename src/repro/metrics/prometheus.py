@@ -72,6 +72,17 @@ def render_prometheus(snapshot):
                 lines.append("%s_count%s %s"
                              % (pname, _labels_text(labels),
                                 _num(sample.get("count", 0))))
+                exemplar = sample.get("exemplar")
+                if exemplar:
+                    # Text format 0.0.4 has no native exemplar
+                    # syntax; a comment keeps the document valid for
+                    # every scraper while still shipping the link
+                    # from the slowest observation to its trace.
+                    lines.append(
+                        "# exemplar %s%s trace_id=%s value=%s"
+                        % (pname, _labels_text(labels),
+                           exemplar.get("trace_id"),
+                           _num(exemplar.get("value"))))
             else:
                 lines.append("%s%s %s"
                              % (pname, _labels_text(labels),

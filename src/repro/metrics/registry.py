@@ -186,17 +186,23 @@ class Histogram(_Family):
         self.sum = 0
         self.min = None
         self.max = None
+        self.exemplar = None  # {"trace_id", "value"} of the max obs
 
     def _make_child(self):
         return Histogram(self.name, self.help, self.bounds)
 
-    def observe(self, value):
+    def observe(self, value, trace_id=None):
         self.count += 1
         self.sum += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+            # OpenMetrics-style exemplar: the slowest observation
+            # keeps the trace that caused it, so "p99 spiked" links
+            # straight to a span tree in the ring / trace endpoint.
+            if trace_id is not None:
+                self.exemplar = {"trace_id": trace_id, "value": value}
         lo, hi = 0, len(self.bounds)
         while lo < hi:  # first bound >= value
             mid = (lo + hi) // 2
@@ -217,13 +223,16 @@ class Histogram(_Family):
             buckets.append([bound, running])
         running += self.counts[-1]
         buckets.append(["+Inf", running])
-        return {
+        sample = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "buckets": buckets,  # cumulative, Prometheus-style
         }
+        if self.exemplar is not None:
+            sample["exemplar"] = dict(self.exemplar)
+        return sample
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -325,7 +334,7 @@ class _NullMetric:
     def set_total(self, value):
         pass
 
-    def observe(self, value):
+    def observe(self, value, trace_id=None):
         pass
 
     value = 0

@@ -15,7 +15,18 @@ Routes (all JSON unless noted):
                                the session library when omitted)
 ``/sim``               POST    elaborate + simulate (``top``,
                                ``arch``, ``until``, ``lib``)
+``/trace``             GET     recent spans from the in-memory ring
+                               (``?trace_id=`` filters to one tree)
 =====================  ======  =====================================
+
+Every request runs under a root span: an incoming W3C ``traceparent``
+header is honored (the request root becomes a child of the caller's
+span — two requests sent with the same header form one trace), a
+malformed or absent one starts a fresh trace, and the response always
+carries the request's own ``traceparent`` back.  Spans from the job
+layer — queue waits, compile batches, fork-worker compiles, sampled
+kernel timesteps — land in a bounded :class:`~repro.trace.SpanRing`
+that ``GET /trace`` exposes.
 
 The app owns one :class:`~repro.metrics.MetricsRegistry` for its whole
 lifetime — ``serve_requests_total{route=,status=}``,
@@ -35,6 +46,7 @@ import time
 from ..diag import Diagnostic, render_jsonl
 from ..metrics import MetricsRegistry
 from ..metrics.registry import SECONDS_BUCKETS
+from ..trace import SpanContext, SpanRing, make_span, use
 from .http import (
     HTTPError,
     HTTPServer,
@@ -66,9 +78,11 @@ class ServeApp:
     """Route dispatch over sessions, jobs, and the metrics registry."""
 
     def __init__(self, state_dir=None, ref_library=None, workers=2,
-                 registry=None, batch_window=None):
+                 registry=None, batch_window=None,
+                 trace_capacity=16384):
         self.registry = registry if registry is not None \
             else MetricsRegistry()
+        self.trace = SpanRing(capacity=trace_capacity)
         self._owns_state_dir = state_dir is None
         # Absolute: build reports key files by absolute path, and
         # session workspaces must agree with them.
@@ -81,7 +95,7 @@ class ServeApp:
         kwargs = {} if batch_window is None \
             else {"batch_window": batch_window}
         self.jobs = JobRunner(workers=workers, metrics=self.registry,
-                              **kwargs)
+                              trace=self.trace, **kwargs)
         self.draining = False
         self._started = time.perf_counter()
         self._m_requests = self.registry.counter(
@@ -124,10 +138,20 @@ class ServeApp:
 
     async def handle(self, request):
         route = self._route_label(request)
+        # One root span per request.  A valid incoming traceparent
+        # makes this request a child of the caller's span (so a
+        # client can stitch /compile + /sim into one trace by sending
+        # the same header); anything malformed is silently ignored
+        # and a fresh trace starts.
+        remote = SpanContext.from_traceparent(
+            request.headers.get("traceparent"))
+        ctx = remote.child() if remote is not None else SpanContext()
         self._m_inflight.inc()
         t0 = time.perf_counter()
+        ts_us = time.time() * 1e6
         try:
-            response = await self._dispatch(request)
+            with use(ctx):
+                response = await self._dispatch(request)
         except HTTPError as exc:
             response = error_response(exc.status, exc.message)
         except (SessionError, JobError) as exc:
@@ -138,16 +162,22 @@ class ServeApp:
                 500, "%s: %s" % (type(exc).__name__, exc))
         finally:
             self._m_inflight.dec()
+        elapsed = time.perf_counter() - t0
         self._m_latency.labels(route=route).observe(
-            time.perf_counter() - t0)
+            elapsed, trace_id=ctx.trace_id)
         self._m_requests.labels(
             route=route, status=str(response.status)).inc()
+        self.trace.add(make_span(
+            "request", ctx, ts_us, elapsed * 1e6, cat="serve",
+            route=route, method=request.method,
+            status=response.status))
+        response.headers.append(("traceparent", ctx.to_traceparent()))
         return response
 
     def _route_label(self, request):
         head = request.path.strip("/").split("/", 1)[0] or "root"
         known = ("healthz", "metrics", "stats", "session", "sessions",
-                 "compile", "lint", "sim")
+                 "compile", "lint", "sim", "trace")
         return head if head in known else "other"
 
     async def _dispatch(self, request):
@@ -164,6 +194,8 @@ class ServeApp:
             return self._metrics()
         if method == "GET" and path == "/stats":
             return self._stats()
+        if method == "GET" and path == "/trace":
+            return self._trace(request)
         if method == "GET" and path == "/sessions":
             return Response.json({"ok": True,
                                   "sessions": self.sessions.list()})
@@ -251,6 +283,20 @@ class ServeApp:
             ws, top, arch=body.get("arch"), until_fs=until_fs,
             lib=body.get("lib"))
         return Response.json(result)
+
+    def _trace(self, request):
+        """Recent spans (newest last); ``?trace_id=`` narrows to one
+        tree.  Note the handling request's own span is recorded only
+        after its response is built, so a trace never contains the
+        ``/trace`` fetch that read it."""
+        wanted = (request.query.get("trace_id") or [None])[0]
+        spans = self.trace.events(trace_id=wanted or None)
+        return Response.json({
+            "ok": True,
+            "count": len(spans),
+            "dropped": self.trace.dropped,
+            "spans": spans,
+        })
 
     def _metrics(self):
         self._m_uptime.set(

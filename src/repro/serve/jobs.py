@@ -22,12 +22,29 @@ the same records ``--diag-format json`` prints), and queue/run timing.
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 from ..diag import Diagnostic, render_jsonl
 from ..metrics import NULL_REGISTRY
+from ..trace.context import current_context, make_span, use
 
 #: How long a compile job waits for batch-mates before running.
 BATCH_WINDOW_S = 0.01
+
+#: Sampling stride for kernel spans in traced ``/sim`` jobs: record
+#: every Nth timestep / process resume, so a million-cycle run adds
+#: bounded span volume to the ring.
+SIM_TRACE_SAMPLE = 100
+
+
+@contextmanager
+def _maybe_phase(tracer, name, **args):
+    """``tracer.phase(...)`` when tracing, a no-op otherwise."""
+    if tracer is None:
+        yield None
+    else:
+        with tracer.phase(name, **args) as event:
+            yield event
 
 
 class JobError(Exception):
@@ -58,24 +75,29 @@ class _CompileJob:
     """One pending compile request inside a batch."""
 
     __slots__ = ("id", "names", "paths", "force", "future",
-                 "submitted")
+                 "submitted", "submitted_ts", "ctx")
 
-    def __init__(self, job_id, names, paths, force, future):
+    def __init__(self, job_id, names, paths, force, future, ctx=None):
         self.id = job_id
         self.names = names   # client-facing file names
         self.paths = paths   # absolute paths inside the workspace
         self.force = force
         self.future = future
         self.submitted = time.perf_counter()
+        self.submitted_ts = time.time() * 1e6  # epoch µs, for spans
+        self.ctx = ctx       # the submitting request's span context
 
 
 class JobRunner:
     """Executes jobs on a worker pool with per-session batching."""
 
     def __init__(self, workers=2, metrics=NULL_REGISTRY,
-                 batch_window=BATCH_WINDOW_S):
+                 batch_window=BATCH_WINDOW_S, trace=None,
+                 sim_trace_sample=SIM_TRACE_SAMPLE):
         self.workers = max(1, int(workers or 1))
         self.batch_window = batch_window
+        self.trace = trace  # repro.trace.SpanRing (or None)
+        self.sim_trace_sample = sim_trace_sample
         self.executor = ThreadPoolExecutor(
             max_workers=max(2, self.workers),
             thread_name_prefix="repro-serve")
@@ -137,8 +159,11 @@ class JobRunner:
         loop = asyncio.get_running_loop()
         paths = workspace.write_sources(files)
         names = [entry["name"] for entry in files]
+        # Capture the request's span context *here*: the drainer task
+        # runs in whichever request's context created it, so each job
+        # must carry its own.
         job = _CompileJob(self.next_id(), names, paths, force,
-                          loop.create_future())
+                          loop.create_future(), ctx=current_context())
         self._job_started()
         self._pending.setdefault(workspace.id, []).append(job)
         drainer = self._drainers.get(workspace.id)
@@ -165,12 +190,19 @@ class JobRunner:
                     batch_paths.append(path)
         self._m_batches.inc()
         self._m_batch_size.observe(len(batch_paths))
+        # The batch runs as a child span of the first traced job's
+        # request; batch-mates link to it via ``batch_member`` spans
+        # (a batch has many requesting parents but one execution).
+        lead_ctx = next((j.ctx for j in jobs if j.ctx is not None),
+                        None)
+        batch_ctx = lead_ctx.child() if lead_ctx is not None else None
         started = time.perf_counter()
+        started_ts = time.time() * 1e6
         try:
             async with workspace.lock:
                 report = await loop.run_in_executor(
                     self.executor, self._run_build,
-                    workspace, batch_paths, force)
+                    workspace, batch_paths, force, batch_ctx)
         except Exception as exc:
             for job in jobs:
                 if not job.future.done():
@@ -181,6 +213,8 @@ class JobRunner:
             return
         run_s = time.perf_counter() - started
         workspace.invalidate()
+        self._record_batch_spans(jobs, batch_ctx, report, started,
+                                 started_ts, run_s, len(batch_paths))
         for job in jobs:
             self._m_queue_s.observe(max(0.0,
                                         started - job.submitted))
@@ -192,9 +226,40 @@ class JobRunner:
             self._m_jobs.labels(kind="compile").inc()
             self._job_finished()
 
-    def _run_build(self, workspace, paths, force):
-        builder = workspace.builder(jobs=self.workers)
-        return builder.build(paths, force=force)
+    def _record_batch_spans(self, jobs, batch_ctx, report, started,
+                            started_ts, run_s, batch_files):
+        """Collect this batch's span tree into the ring buffer."""
+        if self.trace is None or batch_ctx is None:
+            return
+        spans = [make_span(
+            "compile_batch", batch_ctx, started_ts, run_s * 1e6,
+            cat="serve", files=batch_files, jobs=len(jobs))]
+        for job in jobs:
+            if job.ctx is None:
+                continue
+            wait_s = max(0.0, started - job.submitted)
+            spans.append(make_span(
+                "queue_wait", job.ctx.child(), job.submitted_ts,
+                wait_s * 1e6, cat="serve", job=job.id))
+            if job.ctx.span_id != batch_ctx.parent_id:
+                # A batch-mate: its request did not own the batch
+                # execution, so leave a membership span that links to
+                # the batch's identity.
+                spans.append(make_span(
+                    "batch_member", job.ctx.child(), started_ts,
+                    run_s * 1e6, cat="serve", job=job.id,
+                    batch_trace=batch_ctx.trace_id,
+                    batch_span=batch_ctx.span_id))
+        self.trace.add_events(spans)
+        self.trace.add_events(getattr(report, "trace_events", ()))
+
+    def _run_build(self, workspace, paths, force, ctx=None):
+        # Executor threads do not inherit the caller's contextvars;
+        # re-activate the batch span explicitly so the builder's
+        # phases (and its fork workers) parent into it.
+        with use(ctx):
+            builder = workspace.builder(jobs=self.workers)
+            return builder.build(paths, force=force)
 
     def _slice_report(self, workspace, job, report, run_s,
                       batch_files, batch_jobs):
@@ -242,12 +307,13 @@ class JobRunner:
         library; concurrent with other readers and with writers."""
         loop = asyncio.get_running_loop()
         job_id = self.next_id()
+        ctx = current_context()
         self._job_started()
         submitted = time.perf_counter()
         try:
             result = await loop.run_in_executor(
                 self.executor, self._run_sim, workspace, top, arch,
-                until_fs, lib)
+                until_fs, lib, ctx)
         finally:
             self._m_jobs.labels(kind="sim").inc()
             self._job_finished()
@@ -260,17 +326,32 @@ class JobRunner:
         }
         return result
 
-    def _run_sim(self, workspace, top, arch, until_fs, lib):
+    def _run_sim(self, workspace, top, arch, until_fs, lib, ctx=None):
         from ..sim import Kernel, SimulationError
         from ..vhdl.elaborate import ElaborationError, Elaborator
 
         snapshot = workspace.snapshot()
-        kernel = Kernel()
+        tracer = None
+        if ctx is not None and self.trace is not None:
+            from ..diag.trace import Tracer
+
+            tracer = Tracer()
+        # A traced kernel samples timestep / process-resume spans; the
+        # ambient context during ``run()`` (the kernel_run phase) is
+        # what they parent into.
+        kernel = Kernel(trace=tracer,
+                        trace_sample=self.sim_trace_sample)
         try:
-            elab = Elaborator(snapshot, kernel=kernel)
-            sim = elab.elaborate(top, arch_name=arch, lib=lib)
-            end = sim.run(until_fs=until_fs)
+            with use(ctx), _maybe_phase(tracer, "sim", cat="serve",
+                                        top=top):
+                with _maybe_phase(tracer, "elaborate", cat="serve"):
+                    elab = Elaborator(snapshot, kernel=kernel)
+                    sim = elab.elaborate(top, arch_name=arch, lib=lib)
+                with _maybe_phase(tracer, "kernel_run", cat="serve"):
+                    end = sim.run(until_fs=until_fs)
         except (ElaborationError, SimulationError) as exc:
+            if tracer is not None:
+                self.trace.add_events(tracer.events)
             return {
                 "ok": False,
                 "error": "%s: %s" % (type(exc).__name__, exc),
@@ -278,6 +359,8 @@ class JobRunner:
                 "diagnostics_jsonl": render_jsonl(
                     snapshot.quarantine_diagnostics()),
             }
+        if tracer is not None:
+            self.trace.add_events(tracer.events)
         lines = _sim_lines(kernel, sim.names, end)
         return {
             "ok": True,
@@ -302,8 +385,10 @@ class JobRunner:
         or lint the session library when no files are given."""
         loop = asyncio.get_running_loop()
         job_id = self.next_id()
+        ctx = current_context()
         self._job_started()
         submitted = time.perf_counter()
+        submitted_ts = time.time() * 1e6
         try:
             result = await loop.run_in_executor(
                 self.executor, self._run_lint, workspace, files,
@@ -311,6 +396,11 @@ class JobRunner:
         finally:
             self._m_jobs.labels(kind="lint").inc()
             self._job_finished()
+        if ctx is not None and self.trace is not None:
+            self.trace.add(make_span(
+                "lint", ctx.child(), submitted_ts,
+                (time.perf_counter() - submitted) * 1e6,
+                cat="serve", job=job_id))
         result["id"] = job_id
         result["kind"] = "lint"
         result["session"] = workspace.id

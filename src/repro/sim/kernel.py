@@ -42,6 +42,7 @@ import heapq
 import time as _time
 
 from ..metrics import NULL_REGISTRY
+from ..trace.context import current_context
 from .process import Process, WaitRequest
 from .runtime import RuntimeError_, ops
 from .signals import Signal
@@ -74,7 +75,8 @@ _KERNEL_ORIGIN = _KernelOrigin()
 class Kernel:
     """An event-driven simulator instance (activity-driven calendar)."""
 
-    def __init__(self, max_deltas=10000, logger=None, metrics=None):
+    def __init__(self, max_deltas=10000, logger=None, metrics=None,
+                 trace=None, trace_sample=1):
         self.now = 0
         self.step = 0  # simulation-cycle stamp, for 'EVENT / 'ACTIVE
         self.signals = []
@@ -116,6 +118,18 @@ class Kernel:
             "sim_truncated_transactions",
             "projected transactions abandoned because run(until=...) "
             "stopped before their time")
+        # -- causal tracing (repro.trace).  ``trace`` is a
+        # ``repro.diag.trace.Tracer`` (or None); every
+        # ``trace_sample``-th timestep and process resume becomes a
+        # span, parented into the ambient span context captured at
+        # initialize/run.  Gated exactly like ``_timed``: with
+        # trace=None the whole feature costs one local bool test per
+        # cycle and one attribute test per resume.
+        self.trace = trace
+        self.trace_sample = max(1, int(trace_sample or 1))
+        self._traced = trace is not None
+        self._trace_ctx = None
+        self._trace_resumes = 0
 
     # -- construction ------------------------------------------------------
 
@@ -230,16 +244,30 @@ class Kernel:
         if self._initialized:
             return
         self._initialized = True
+        if self._traced and self._trace_ctx is None:
+            self._trace_ctx = current_context()
         self.step = 0
         for proc in list(self.processes):
             self._execute(proc)
+
+    def _trace_span(self, name, ts_us, dur_us, **args):
+        """Record one kernel span under the captured run context."""
+        ctx = self._trace_ctx
+        self.trace.complete(
+            name, ts_us, dur_us, cat="sim",
+            ctx=ctx.child() if ctx is not None else None, **args)
 
     def _execute(self, proc):
         """Run one process until it suspends (or finishes)."""
         self.current_process = proc
         proc.resumes += 1
         self._m_resumes.inc()
-        t0 = _time.perf_counter() if self._timed else 0.0
+        rec = False
+        if self._traced:
+            self._trace_resumes = n = self._trace_resumes + 1
+            rec = (n - 1) % self.trace_sample == 0
+        ts_us = _time.time() * 1e6 if rec else 0.0
+        t0 = _time.perf_counter() if (self._timed or rec) else 0.0
         try:
             request = next(proc.generator)
         except StopIteration:
@@ -250,8 +278,13 @@ class Kernel:
             proc.done = True
             raise
         finally:
-            if self._timed:
-                proc.exec_seconds += _time.perf_counter() - t0
+            if self._timed or rec:
+                dt = _time.perf_counter() - t0
+                if self._timed:
+                    proc.exec_seconds += dt
+                if rec:
+                    self._trace_span("process_resume", ts_us, dt * 1e6,
+                                     process=proc.name)
             self.current_process = None
         if not isinstance(request, WaitRequest):
             raise SimulationError(
@@ -349,6 +382,12 @@ class Kernel:
         one_cycle = self._cycle
         max_deltas = self.max_deltas
         m_deltas_inc = self._m_deltas.inc
+        traced = self._traced
+        if traced:
+            sample = self.trace_sample
+            if self._trace_ctx is None:
+                self._trace_ctx = current_context()
+            base_ctx = self._trace_ctx
         while True:
             tn = peek()
             if tn is None:
@@ -357,7 +396,22 @@ class Kernel:
                 self._note_truncation(until, tn)
                 self.now = until
                 break
-            one_cycle(tn)
+            if traced and executed % sample == 0:
+                # Record this timestep as a span; resume spans emitted
+                # inside it nest under it (the swap of _trace_ctx).
+                step_ctx = (base_ctx.child()
+                            if base_ctx is not None else None)
+                self._trace_ctx = step_ctx
+                ts_us = _time.time() * 1e6
+                t0 = _time.perf_counter()
+                one_cycle(tn)
+                dur_us = (_time.perf_counter() - t0) * 1e6
+                self._trace_ctx = base_ctx
+                self.trace.complete(
+                    "timestep", ts_us, dur_us, cat="sim", ctx=step_ctx,
+                    t_fs=tn, step=self.step)
+            else:
+                one_cycle(tn)
             executed += 1
             if max_cycles is not None and executed >= max_cycles:
                 break

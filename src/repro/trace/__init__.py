@@ -1,0 +1,38 @@
+"""End-to-end causal tracing: span contexts, propagation, collection.
+
+``repro.trace`` is the identity layer that stitches the per-process
+Chrome-trace events of :mod:`repro.diag.trace` into one connected span
+tree per request — serve HTTP request → job queue wait → fork-worker
+compile → kernel delta cycles.  See :mod:`repro.trace.context` for the
+model, :mod:`repro.trace.ring` for collection, and
+:mod:`repro.trace.analyze` (imported lazily by the CLI) for offline
+tree/rollup analysis.
+"""
+
+from .context import (
+    SpanContext,
+    activate,
+    current_context,
+    make_span,
+    new_span_id,
+    new_trace_id,
+    restore,
+    stamp,
+    thread_index,
+    use,
+)
+from .ring import SpanRing
+
+__all__ = [
+    "SpanContext",
+    "SpanRing",
+    "activate",
+    "current_context",
+    "make_span",
+    "new_span_id",
+    "new_trace_id",
+    "restore",
+    "stamp",
+    "thread_index",
+    "use",
+]

@@ -1,0 +1,57 @@
+"""Bounded in-memory span collection for long-lived processes.
+
+The serve daemon records every request's spans here; the ring keeps
+the most recent ``capacity`` events and counts what it had to drop, so
+a week-old daemon answers ``GET /trace`` in O(capacity) memory no
+matter how much traffic it saw.
+"""
+
+import threading
+from collections import deque
+
+
+class SpanRing:
+    """A thread-safe ring buffer of trace event dicts."""
+
+    def __init__(self, capacity=16384):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    def add(self, event):
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(event)
+
+    def add_events(self, events):
+        with self._lock:
+            for event in events:
+                if len(self._events) == self.capacity:
+                    self._dropped += 1
+                self._events.append(event)
+
+    def events(self, trace_id=None):
+        """A snapshot list, optionally filtered to one trace."""
+        with self._lock:
+            snapshot = list(self._events)
+        if trace_id is None:
+            return snapshot
+        return [ev for ev in snapshot if ev.get("trace_id") == trace_id]
+
+    @property
+    def dropped(self):
+        with self._lock:
+            return self._dropped
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    def clear(self):
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0

@@ -69,6 +69,90 @@ class TestTracer:
         assert "vif" in text
         assert "x1" in text
 
+    def test_tid_is_stable_small_index(self):
+        """tid must be a stable per-thread index, not a truncated
+        (collision-prone) get_ident()."""
+        import threading
+
+        from repro.trace import thread_index
+
+        tracer = Tracer()
+        with tracer.phase("a"):
+            pass
+        with tracer.phase("b"):
+            pass
+        tids = {e["tid"] for e in tracer.events}
+        assert tids == {thread_index()}
+        assert tids != {threading.get_ident() & 0xFFFF} or \
+            thread_index() == threading.get_ident() & 0xFFFF
+
+    def test_phases_carry_span_identity(self):
+        tracer = Tracer()
+        with tracer.phase("outer"):
+            with tracer.phase("inner"):
+                pass
+        inner, outer = tracer.events
+        assert outer["trace_id"] == inner["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["span_id"] != inner["span_id"]
+
+    def test_phase_attaches_to_ambient_context(self):
+        from repro.trace import SpanContext, use
+
+        tracer = Tracer()
+        root = SpanContext()
+        with use(root):
+            with tracer.phase("work"):
+                pass
+        (event,) = tracer.events
+        assert event["trace_id"] == root.trace_id
+        assert event["parent_id"] == root.span_id
+
+    def test_complete_records_retroactive_span(self):
+        from repro.trace import SpanContext
+
+        tracer = Tracer()
+        ctx = SpanContext()
+        tracer.complete("queue_wait", 1000.0, 42.0, cat="serve",
+                        ctx=ctx, job="j1")
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["ts"] == 1000.0 and event["dur"] == 42.0
+        assert event["span_id"] == ctx.span_id
+        assert event["args"] == {"job": "j1"}
+
+    def test_aggregation_safe_under_concurrent_append(self):
+        """phase_seconds/summary snapshot under the lock; hammering
+        them while another thread appends must never raise."""
+        import threading
+
+        tracer = Tracer()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                with tracer.phase("spin"):
+                    pass
+
+        def reader():
+            try:
+                for _ in range(200):
+                    tracer.phase_seconds()
+                    tracer.summary("live")
+                    tracer.chrome()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            reader()
+        finally:
+            stop.set()
+            t.join()
+        assert errors == []
+
 
 class TestMerging:
     def fake_worker_events(self, pid):

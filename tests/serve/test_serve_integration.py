@@ -233,6 +233,10 @@ class TestMetricsExposition:
                 helped.add(line.split()[2])
             elif line.startswith("# TYPE "):
                 typed.add(line.split()[2])
+            elif line.startswith("# exemplar "):
+                # Slowest-observation exemplars ride as comments
+                # (text format 0.0.4 has no native syntax for them).
+                assert "trace_id=" in line and "value=" in line, line
             elif line:
                 assert self.SAMPLE.match(line), line
         # Every serve_* family the PR promises is present and typed.

@@ -1,0 +1,160 @@
+"""Offline span analysis: loading, merging, trees, rollups."""
+
+import json
+
+import pytest
+
+from repro.trace import analyze
+
+
+def span(name, span_id, parent_id=None, ts=0.0, dur=1.0, pid=1,
+         trace_id="t1", **args):
+    event = {"name": name, "cat": "test", "ph": "X", "ts": ts,
+             "dur": dur, "pid": pid, "tid": 1, "trace_id": trace_id,
+             "span_id": span_id}
+    if parent_id is not None:
+        event["parent_id"] = parent_id
+    if args:
+        event["args"] = dict(args)
+    return event
+
+
+@pytest.fixture
+def forest():
+    """root > (build > compile, sim) plus an orphaned stranger."""
+    return [
+        span("root", "r1", ts=0.0, dur=100.0),
+        span("build", "b1", parent_id="r1", ts=1.0, dur=40.0),
+        span("compile", "c1", parent_id="b1", ts=2.0, dur=30.0,
+             pid=2),
+        span("sim", "s1", parent_id="r1", ts=50.0, dur=45.0),
+        span("stranger", "x1", parent_id="missing", ts=60.0,
+             dur=5.0, trace_id="t2"),
+    ]
+
+
+class TestLoadSpans:
+    def test_chrome_trace_object(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(
+            {"traceEvents": [{"name": "a"}, "junk", {"name": "b"}]}))
+        events = analyze.load_spans(str(path))
+        assert [e["name"] for e in events] == ["a", "b"]
+
+    def test_bare_list(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([{"name": "only"}]))
+        assert analyze.load_spans(str(path)) == [{"name": "only"}]
+
+    def test_spans_key(self, tmp_path):
+        path = tmp_path / "dump.json"
+        path.write_text(json.dumps(
+            {"ok": True, "spans": [{"name": "from-serve"}]}))
+        events = analyze.load_spans(str(path))
+        assert events == [{"name": "from-serve"}]
+
+    def test_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"name": "one"}\n\n{"name": "two"}\n')
+        events = analyze.load_spans(str(path))
+        assert [e["name"] for e in events] == ["one", "two"]
+
+    def test_non_trace_json_raises(self, tmp_path):
+        path = tmp_path / "scalar.json"
+        path.write_text("42")
+        with pytest.raises(ValueError):
+            analyze.load_spans(str(path))
+
+
+class TestMergeSpans:
+    def test_orders_by_ts_then_pid(self):
+        a = [{"ts": 5, "pid": 1}, {"ts": 1, "pid": 2}]
+        b = [{"ts": 1, "pid": 1}, {"ts": 3, "pid": 9}]
+        merged = analyze.merge_spans(a, b)
+        assert [(e["ts"], e["pid"]) for e in merged] == \
+            [(1, 1), (1, 2), (3, 9), (5, 1)]
+
+    def test_missing_keys_default_to_zero(self):
+        merged = analyze.merge_spans([{"name": "x"}], [{"ts": -1}])
+        assert merged[0] == {"ts": -1}
+
+
+class TestBuildTrees:
+    def test_parentage(self, forest):
+        roots = analyze.build_trees(forest, trace_id="t1")
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["span"]["name"] == "root"
+        assert [c["span"]["name"] for c in root["children"]] == \
+            ["build", "sim"]
+        build = root["children"][0]
+        assert [c["span"]["name"] for c in build["children"]] == \
+            ["compile"]
+
+    def test_unresolved_parent_becomes_root(self, forest):
+        roots = analyze.build_trees(forest)
+        names = sorted(r["span"]["name"] for r in roots)
+        assert names == ["root", "stranger"]
+
+    def test_non_x_events_ignored(self):
+        events = [span("a", "a1"),
+                  {"name": "counter", "ph": "C", "ts": 0}]
+        roots = analyze.build_trees(events)
+        assert len(roots) == 1
+
+    def test_self_parent_does_not_recurse(self):
+        events = [span("loop", "l1", parent_id="l1")]
+        roots = analyze.build_trees(events)
+        assert len(roots) == 1 and roots[0]["children"] == []
+
+
+class TestValidate:
+    def test_counts(self, forest):
+        report = analyze.validate(forest)
+        assert report["spans"] == 5
+        assert report["roots"] == 1
+        assert report["unresolved_parents"] == 1
+        assert report["pids"] == [1, 2]
+        assert report["trace_ids"] == ["t1", "t2"]
+
+    def test_trace_filter(self, forest):
+        report = analyze.validate(forest, trace_id="t1")
+        assert report["spans"] == 4
+        assert report["unresolved_parents"] == 0
+
+
+class TestViews:
+    def test_render_tree_indents_and_truncates(self, forest):
+        lines = analyze.render_tree(forest, trace_id="t1")
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  build")
+        assert lines[2].startswith("    compile")
+        short = analyze.render_tree(forest, trace_id="t1",
+                                    max_spans=2)
+        assert len(short) == 3 and "truncated" in short[-1]
+
+    def test_slowest_spans(self, forest):
+        top = analyze.slowest_spans(forest, n=2)
+        assert [e["name"] for e in top] == ["root", "sim"]
+
+    def test_rollup_paths_and_self_time(self, forest):
+        rows = {r["path"]: r for r in
+                analyze.rollup(forest, trace_id="t1")}
+        assert rows["root"]["self_us"] == pytest.approx(15.0)
+        assert rows["root > build"]["total_us"] == pytest.approx(40.0)
+        assert rows["root > build"]["self_us"] == pytest.approx(10.0)
+        assert rows["root > build > compile"]["count"] == 1
+
+    def test_rollup_self_time_never_negative(self):
+        events = [span("parent", "p1", ts=0, dur=5.0),
+                  span("child", "c1", parent_id="p1", ts=0,
+                       dur=50.0)]
+        rows = {r["path"]: r for r in analyze.rollup(events)}
+        assert rows["parent"]["self_us"] == 0.0
+
+    def test_render_rollup_header_and_limit(self, forest):
+        rows = analyze.rollup(forest)
+        lines = analyze.render_rollup(rows, limit=1)
+        assert lines[0].split() == ["path", "count", "total",
+                                    "ms", "self", "ms"]
+        assert len(lines) == 2

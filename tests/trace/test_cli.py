@@ -1,0 +1,86 @@
+"""The ``repro trace`` subcommand over real files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def collect():
+    lines = []
+
+    def out(text=""):
+        lines.append(str(text))
+
+    out.lines = lines
+    return out
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    events = [
+        {"name": "request", "ph": "X", "ts": 0.0, "dur": 90.0,
+         "pid": 1, "tid": 1, "trace_id": "t" * 32, "span_id": "r1"},
+        {"name": "build", "ph": "X", "ts": 5.0, "dur": 70.0,
+         "pid": 2, "tid": 1, "trace_id": "t" * 32, "span_id": "b1",
+         "parent_id": "r1"},
+    ]
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({"traceEvents": events}))
+    return str(path)
+
+
+class TestTraceCommand:
+    def test_tree_view(self, trace_file, collect):
+        assert main(["trace", trace_file], out=collect) == 0
+        text = "\n".join(collect.lines)
+        assert "2 span(s) in 1 trace(s): 1 root(s)" in text
+        assert any(line.startswith("request") for line in
+                   collect.lines)
+        assert any(line.startswith("  build") for line in
+                   collect.lines)
+
+    def test_summary_view_is_json(self, trace_file, collect):
+        assert main(["trace", trace_file, "--view", "summary"],
+                    out=collect) == 0
+        report = json.loads("\n".join(collect.lines))
+        assert report["spans"] == 2
+        assert report["unresolved_parents"] == 0
+        assert report["pids"] == [1, 2]
+
+    def test_slowest_and_rollup_views(self, trace_file, collect):
+        assert main(["trace", trace_file, "--view", "slowest",
+                     "--limit", "1"], out=collect) == 0
+        assert "request" in collect.lines[-1]
+        del collect.lines[:]
+        assert main(["trace", trace_file, "--view", "rollup"],
+                    out=collect) == 0
+        assert any("request > build" in line for line in
+                   collect.lines)
+
+    def test_merge_out_writes_chrome_trace(self, trace_file,
+                                           tmp_path, collect):
+        merged = str(tmp_path / "out" / "merged.json")
+        assert main(["trace", trace_file, trace_file,
+                     "--merge-out", merged], out=collect) == 0
+        doc = json.load(open(merged))
+        assert len(doc["traceEvents"]) == 4
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_trace_id_filter(self, trace_file, collect):
+        assert main(["trace", trace_file, "--trace-id", "absent",
+                     "--view", "summary"], out=collect) == 0
+        report = json.loads("\n".join(collect.lines))
+        assert report["spans"] == 0
+
+    def test_missing_file_is_usage_error(self, tmp_path, collect):
+        path = str(tmp_path / "nope.json")
+        assert main(["trace", path], out=collect) == 2
+        assert collect.lines[0].startswith("trace: ")
+
+    def test_non_trace_json_is_usage_error(self, tmp_path, collect):
+        path = tmp_path / "scalar.json"
+        path.write_text("3.14")
+        assert main(["trace", str(path)], out=collect) == 2

@@ -1,0 +1,104 @@
+"""Cross-process span parentage: fork workers rejoin the caller's tree.
+
+The fork pool pickles the ambient :class:`SpanContext` to each worker
+(see ``repro.build.pool._call_with_context``), so spans recorded in a
+forked build or fuzz worker carry the submitting trace's id and a
+parent chain that resolves back into the parent process.
+"""
+
+import os
+
+from repro.build.driver import IncrementalBuilder
+from repro.build.scheduler import _fork_available
+from repro.gen.runner import run_sweep
+from repro.trace import SpanContext, use
+from repro.trace.analyze import validate
+
+ENTITY = """entity %(name)s is end %(name)s;
+architecture a of %(name)s is
+  signal x : integer := %(init)d;
+begin
+end a;
+"""
+
+
+def _write_project(tmp_path, n=3):
+    files = []
+    for i in range(n):
+        p = tmp_path / ("e%d.vhd" % i)
+        p.write_text(ENTITY % {"name": "e%d" % i, "init": i})
+        files.append(str(p))
+    return files
+
+
+def _connected_to(spans, root):
+    """Every span in ``spans`` must parent into the set or the root."""
+    ids = {e["span_id"] for e in spans}
+    for event in spans:
+        assert event["trace_id"] == root.trace_id, event
+        parent = event.get("parent_id")
+        assert parent in ids or parent == root.span_id, event
+
+
+class TestForkedBuild:
+    def test_worker_spans_rejoin_the_ambient_trace(self, tmp_path):
+        files = _write_project(tmp_path)
+        builder = IncrementalBuilder(str(tmp_path / "libs"), jobs=2)
+        root = SpanContext()
+        with use(root):
+            report = builder.build(files)
+
+        spans = [e for e in report.trace_events
+                 if e.get("ph") == "X"]
+        names = {e["name"] for e in spans}
+        assert "build" in names
+        assert "compile_file" in names
+        _connected_to(spans, root)
+        # The driver's "build" span is the in-process root.
+        (build_span,) = [e for e in spans if e["name"] == "build"]
+        assert build_span["parent_id"] == root.span_id
+
+        compile_pids = {e["pid"] for e in spans
+                        if e["name"] == "compile_file"}
+        if _fork_available():
+            # 3 independent files across 2 workers: at least one
+            # compile happened outside the driver process, and its
+            # span still resolved into the tree above.
+            assert compile_pids - {os.getpid()}
+        else:  # pragma: no cover - non-fork platforms
+            assert compile_pids == {os.getpid()}
+
+    def test_untraced_build_is_still_one_tree(self, tmp_path):
+        """No ambient context: the build span roots its own trace."""
+        files = _write_project(tmp_path, n=2)
+        builder = IncrementalBuilder(str(tmp_path / "libs"), jobs=2)
+        report = builder.build(files)
+        spans = [e for e in report.trace_events
+                 if e.get("ph") == "X"]
+        info = validate(spans)
+        assert info["spans"] == len(spans) > 0
+        assert info["roots"] == 1
+        assert info["unresolved_parents"] == 0
+        assert len(info["trace_ids"]) == 1
+
+
+class TestForkedFuzz:
+    def test_fuzz_worker_spans_carry_the_trace(self):
+        root = SpanContext()
+        with use(root):
+            report = run_sweep(3, 4, jobs=2, shrink_failures=False)
+        spans = report.trace_events
+        assert len(spans) == 4
+        assert all(e["name"] == "fuzz_design" for e in spans)
+        _connected_to(spans, root)
+        # Every worker span parents directly on the sweep's context.
+        assert {e["parent_id"] for e in spans} == {root.span_id}
+        if _fork_available():
+            assert {e["pid"] for e in spans} - {os.getpid()}
+
+    def test_untraced_sweep_records_no_spans(self):
+        """CLI fuzz runs with no ambient context must stay span-free
+        (their report envelopes are byte-compared in the diff gate)."""
+        report = run_sweep(3, 3, jobs=1, shrink_failures=False)
+        assert report.trace_events == []
+        assert all("trace" not in r for r in report.records)
