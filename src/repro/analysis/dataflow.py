@@ -1,0 +1,466 @@
+"""Whole-design dataflow analysis over the flattened netlist.
+
+Four elaborated-design rules (RPE) run on the
+:class:`~repro.analysis.netlist.DesignGraph`, plus the levelization
+pass whose output — the ``repro-levels/1`` artifact — is the
+precomputed evaluation order a compiled/levelized backend consumes
+(ROADMAP items 1 and 5; the CVC compiler's flatten-then-levelize
+strategy).
+
+``RPE001`` *combinational loop* — a strongly connected component of
+the zero-delay dataflow graph: every signal on the cycle is driven,
+without an ``'EVENT`` guard and without an ``after`` delay, by a
+process that re-fires on events of another cycle signal.  The delta
+cycle never converges (the kernel spins until ``max_cycles``).
+Clocked feedback ('EVENT-guarded drives) and time-paced feedback
+(``after`` delays, ``wait for`` pacing) are legitimate and exempt by
+construction.
+
+``RPE002`` *static drive race* — one elaborated signal with drivers
+in two or more processes, found across instance boundaries.  Without
+a resolution function this is the exact defect
+:meth:`repro.sim.signals.Signal.compute_value` raises on at run time
+— the diagnostic cites the same declaration span.  With a resolution
+function it is reported as a note: legitimate bus behaviour whose
+same-instant writes are ordered by the resolution function alone.
+
+``RPE003`` *cross-clock transfer* — a signal registered in one clock
+domain and read as data in a process clocked by a different signal,
+with no re-registration stage in between: a real design would
+metastabilize.  A single-flop synchronizer (a process whose only
+data read is the foreign signal and whose only effect is one
+re-registration) is recognized and exempts downstream reads.
+
+``RPE004`` *dead cone / static constant* — after generics folded and
+hierarchy flattened, a cone of logic no live observer can see (dead),
+or a signal read but never driven (statically constant).  Reported as
+notes: they are optimization facts, not correctness hazards.
+"""
+
+from ..diag.diagnostic import ERROR, NOTE, WARNING
+from .rules import Rule, register
+
+#: Levelization artifact format marker.
+LEVELS_SCHEMA = "repro-levels/1"
+
+
+# -- Tarjan SCC ----------------------------------------------------------------
+
+
+def tarjan_scc(nodes, successors):
+    """Iterative Tarjan: strongly connected components of a digraph.
+
+    ``nodes`` is an ordered iterable; ``successors(node)`` yields the
+    outgoing neighbours.  Returns components in reverse topological
+    order (standard Tarjan emission order), each a list of nodes.
+    """
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    components = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(successors(root)))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is node:
+                        break
+                components.append(component)
+    return components
+
+
+# -- combinational-loop detection ----------------------------------------------
+
+
+def _comb_adjacency(graph):
+    """``signal -> {successor signals}`` over the zero-delay edges,
+    plus ``signal -> [procs]`` recording which process closes each
+    edge (for diagnostics)."""
+    adjacency = {}
+    via = {}
+    for src, dst, proc in graph.comb_edges():
+        adjacency.setdefault(src, set()).add(dst)
+        via.setdefault((src, dst), []).append(proc)
+    return adjacency, via
+
+
+def combinational_loops(graph):
+    """The comb-graph SCCs that are actual cycles.
+
+    Returns ``[(signals, procs)]``: cycle signals in graph order and
+    the processes whose drives close the cycle, both deterministic.
+    """
+    adjacency, via = _comb_adjacency(graph)
+    nodes = [s for s in graph.signals if s in adjacency
+             or any(s in dsts for dsts in adjacency.values())]
+    components = tarjan_scc(
+        nodes, lambda n: sorted(adjacency.get(n, ()),
+                                key=lambda s: s.index))
+    loops = []
+    for component in components:
+        members = sorted(component, key=lambda s: s.index)
+        if len(members) == 1:
+            node = members[0]
+            if node not in adjacency.get(node, ()):
+                continue
+        member_set = set(members)
+        procs = []
+        for (src, dst), closing in sorted(
+                via.items(),
+                key=lambda kv: (kv[0][0].index, kv[0][1].index)):
+            if src in member_set and dst in member_set:
+                for proc in closing:
+                    if proc not in procs:
+                        procs.append(proc)
+        loops.append((members, procs))
+    loops.sort(key=lambda pair: pair[0][0].index)
+    return loops
+
+
+def cyclic_signals(graph):
+    """Every signal on some combinational loop."""
+    tainted = set()
+    for members, _procs in combinational_loops(graph):
+        tainted.update(members)
+    return tainted
+
+
+# -- levelization --------------------------------------------------------------
+
+
+def levelize(graph):
+    """Assign evaluation levels to the acyclic combinational cones.
+
+    Level 0 holds every signal that is *not* zero-delay driven
+    (clocked registers, delayed signals, constants, ports): the cone
+    inputs.  A combinational process evaluates at
+    ``1 + max(level of its inputs)`` and its targets live at that
+    level, so replaying processes in level order settles the whole
+    comb fabric in one deterministic sweep — no event calendar needed.
+
+    Returns ``(levels, eval_order, cyclic)`` where ``levels`` maps
+    NetSignal to int, ``eval_order`` is the process order, and
+    ``cyclic`` is the set of loop-tainted signals excluded from both.
+    """
+    cyclic = cyclic_signals(graph)
+    comb_procs = [p for p in graph.processes if p.combinational]
+
+    # A signal is a cone interior node when a comb process zero-delay
+    # drives it; everything else seeds level 0.
+    interior = set()
+    for proc in comb_procs:
+        for drive in proc.drives:
+            if not drive.guarded and drive.zero_delay:
+                interior.add(drive.target)
+
+    levels = {}
+    for signal in graph.signals:
+        if signal in cyclic:
+            continue
+        if signal not in interior:
+            levels[signal] = 0
+
+    pending = [p for p in comb_procs
+               if not (set(p.comb_inputs()) & cyclic)
+               and not any(d.target in cyclic for d in p.drives)]
+    eval_order = []
+    # Kahn-style relaxation; the pending list is small and each pass
+    # settles at least one process, so this is O(n^2) worst case on
+    # pathological chains and linear on realistic fabrics.
+    progress = True
+    while pending and progress:
+        progress = False
+        still = []
+        for proc in pending:
+            deps = [s for s in proc.comb_inputs() if s in interior]
+            if any(s not in levels for s in deps):
+                still.append(proc)
+                continue
+            level = 1 + max(
+                (levels[s] for s in proc.comb_inputs()
+                 if s in levels), default=0)
+            for drive in proc.drives:
+                if drive.guarded or not drive.zero_delay:
+                    continue
+                levels[drive.target] = max(
+                    levels.get(drive.target, 0), level)
+            eval_order.append(proc)
+            progress = True
+        pending = still
+    # Anything left depends (transitively) on a loop: taint it too.
+    for proc in pending:
+        for drive in proc.drives:
+            if not drive.guarded and drive.zero_delay:
+                cyclic.add(drive.target)
+                levels.pop(drive.target, None)
+    eval_order.sort(key=lambda p: (
+        max([levels.get(s, 0) for s in p.comb_inputs()] or [0]),
+        p.index))
+    return levels, eval_order, cyclic
+
+
+def levels_artifact(graph):
+    """The ``repro-levels/1`` JSON artifact for a design graph."""
+    levels, eval_order, cyclic = levelize(graph)
+    by_level = {}
+    for signal, level in levels.items():
+        by_level.setdefault(level, []).append(signal.path)
+    return {
+        "schema": LEVELS_SCHEMA,
+        "top": graph.top_path,
+        "signals": len(graph.signals),
+        "processes": len(graph.processes),
+        "levels": [
+            {"level": level, "signals": sorted(by_level[level])}
+            for level in sorted(by_level)
+        ],
+        "eval_order": [proc.path for proc in eval_order],
+        "cyclic": sorted(s.path for s in cyclic),
+    }
+
+
+# -- elaborated-design rules (RPE) ---------------------------------------------
+
+
+class DesignRule(Rule):
+    scope = "design"
+
+    def check(self, graph, ctx):
+        raise NotImplementedError
+
+
+@register
+class CombinationalLoop(DesignRule):
+    id = "RPE001"
+    severity = ERROR
+    summary = ("combinational loop: zero-delay unclocked drives form "
+               "a cycle the delta cycle can never settle")
+
+    #: Signals shown in the message / processes cited as related
+    #: spans before eliding — a 2000-cell ring is one SCC, and a
+    #: 40 kB diagnostic helps nobody.
+    shown = 8
+
+    def check(self, graph, ctx):
+        for signals, procs in combinational_loops(graph):
+            head = signals[:self.shown]
+            cycle = " -> ".join(s.path for s in head)
+            if len(signals) > self.shown:
+                cycle += " -> ... (%d more)" \
+                    % (len(signals) - self.shown)
+            cycle += " -> %s" % signals[0].path
+            yield self.diag(
+                "combinational loop through %d signal(s): %s"
+                % (len(signals), cycle),
+                span=signals[0].decl_span,
+                notes=["every drive on the cycle is zero-delay and "
+                       "outside any 'EVENT guard; simulation would "
+                       "iterate deltas until the cycle cap"],
+                related=[
+                    ("cycle closed by process %r" % proc.label,
+                     proc.decl_span)
+                    for proc in procs[:self.shown]
+                    if proc.decl_span is not None
+                ])
+
+
+@register
+class StaticDriveRace(DesignRule):
+    id = "RPE002"
+    severity = ERROR
+    summary = ("signal is driven by multiple processes across the "
+               "elaborated design (unresolved: the kernel's runtime "
+               "multi-driver error; resolved: bus semantics)")
+
+    def check(self, graph, ctx):
+        for signal in graph.signals:
+            drivers = []
+            for drive in signal.drivers:
+                if drive.proc not in drivers:
+                    drivers.append(drive.proc)
+            if len(drivers) < 2:
+                continue
+            related = [
+                ("driven by process %r" % proc.label, proc.decl_span)
+                for proc in drivers if proc.decl_span is not None
+            ]
+            if signal.resolved:
+                # Legitimate bus: same rule id, note severity.
+                diag = self.diag(
+                    "resolved signal %r has %d drivers; same-instant "
+                    "writes are ordered only by its resolution "
+                    "function" % (signal.path, len(drivers)),
+                    span=signal.decl_span, related=related)
+                diag.severity = NOTE
+                yield diag
+                continue
+            yield self.diag(
+                "signal %r is driven by %d processes but has no "
+                "resolution function; the first simultaneous write "
+                "raises the kernel's multi-driver error"
+                % (signal.path, len(drivers)),
+                span=signal.decl_span, related=related)
+
+
+@register
+class CrossClockTransfer(DesignRule):
+    id = "RPE003"
+    severity = WARNING
+    summary = ("signal registered in one clock domain is read as "
+               "data in another without a synchronizer stage")
+
+    def check(self, graph, ctx):
+        domain_of = {}
+        for proc in graph.processes:
+            if proc.is_clocked:
+                domain_of[proc] = frozenset(
+                    s.index for s in proc.clocks)
+        for signal in sorted(graph.signals, key=lambda s: s.index):
+            source_domains = set()
+            source_procs = []
+            for drive in signal.drivers:
+                domain = domain_of.get(drive.proc)
+                if domain and drive.guarded:
+                    source_domains.update(domain)
+                    if drive.proc not in source_procs:
+                        source_procs.append(drive.proc)
+            if not source_domains:
+                continue
+            for reader in signal.readers:
+                domain = domain_of.get(reader)
+                if not domain or domain & source_domains:
+                    continue
+                if signal in reader.clocks:
+                    continue  # used as a clock, not as data
+                if signal not in (reader.reads_plain
+                                  | reader.reads_guarded):
+                    continue  # sensitivity/wait only
+                if self._is_sync_stage(reader, signal):
+                    continue
+                yield self.diag(
+                    "signal %r is registered in clock domain {%s} but "
+                    "read as data by process %r clocked by {%s} with "
+                    "no synchronizer stage"
+                    % (signal.path,
+                       ", ".join(sorted(
+                           c.path for p in source_procs
+                           for c in p.clocks)),
+                       reader.label,
+                       ", ".join(sorted(
+                           c.path for c in reader.clocks))),
+                    span=signal.decl_span,
+                    related=[
+                        ("read here", reader.decl_span),
+                    ] + [
+                        ("registered by process %r" % p.label,
+                         p.decl_span)
+                        for p in source_procs
+                        if p.decl_span is not None
+                    ])
+
+    @staticmethod
+    def _is_sync_stage(reader, signal):
+        """A single-flop re-registration: the process's only data
+        read is the foreign signal and it re-registers into exactly
+        one target — the first stage of a synchronizer."""
+        data_reads = (reader.reads_plain | reader.reads_guarded) \
+            - reader.clocks
+        if data_reads != {signal}:
+            return False
+        targets = {d.target for d in reader.drives}
+        return len(targets) == 1
+
+
+@register
+class DeadCone(DesignRule):
+    id = "RPE004"
+    severity = NOTE
+    summary = ("dead cone or statically-constant signal after "
+               "elaboration (no live observer / no driver)")
+
+    def check(self, graph, ctx):
+        live_signals, live_procs = self._liveness(graph)
+        for signal in graph.signals:
+            if signal.is_top_port:
+                continue
+            if signal not in live_signals:
+                yield self.diag(
+                    "signal %r is part of a dead cone: no live "
+                    "process or top-level port ever observes it"
+                    % signal.path,
+                    span=signal.decl_span)
+            elif not signal.drivers and signal.readers:
+                yield self.diag(
+                    "signal %r is read but never driven: statically "
+                    "constant at its initial value after elaboration"
+                    % signal.path,
+                    span=signal.decl_span)
+
+    @staticmethod
+    def _liveness(graph):
+        """Backward liveness fixpoint.
+
+        Seeds: top-level ports (externally observable) and observer
+        processes (no drives — their asserts/reports are effects).
+        A process is live when any drive target is live; a signal is
+        live when a live process reads, waits on, or senses it.
+        """
+        live_signals = set()
+        live_procs = set()
+        worklist = []
+        for proc in graph.processes:
+            if not proc.drives:
+                live_procs.add(proc)
+                worklist.append(proc)
+        for signal in graph.signals:
+            if signal.is_top_port:
+                live_signals.add(signal)
+        changed = True
+        while changed:
+            changed = False
+            for proc in graph.processes:
+                if proc in live_procs:
+                    continue
+                if any(d.target in live_signals for d in proc.drives):
+                    live_procs.add(proc)
+                    changed = True
+            for proc in live_procs:
+                for signal in (proc.reads_plain | proc.reads_guarded
+                               | proc.attr_uses | proc.sensitivity
+                               | proc.wait_signals):
+                    if signal not in live_signals:
+                        live_signals.add(signal)
+                        changed = True
+        return live_signals, live_procs

@@ -15,10 +15,16 @@ baseline.
 """
 
 import json
+import os
 
 from ..metrics import NULL_REGISTRY
 from .facts import extract_unit_facts
 from .rules import REGISTRY, LintContext
+
+# Registering the elaborated-design rules (RPE) is a side effect of
+# importing the module; the engine is the one guaranteed chokepoint
+# every consumer passes through.
+from . import dataflow  # noqa: F401  (registers RPE rules)
 
 #: Baseline file format marker.
 BASELINE_SCHEMA = "repro-lint-baseline/1"
@@ -98,6 +104,16 @@ class LintEngine:
                 found.extend(self.lint_unit(node))
         return found
 
+    def lint_design(self, graph):
+        """Run the elaborated-design rules (scope ``design``) over a
+        :class:`repro.analysis.netlist.DesignGraph`."""
+        found = []
+        for rule in self._rules("design"):
+            for diag in rule.check(graph, self.context):
+                self._m_findings.labels(rule=rule.id).inc()
+                found.append(diag)
+        return found
+
     def lint_ag(self, compiled, entry_inherited=(), goals=()):
         """Lint one :class:`repro.ag.spec.CompiledAG`.
 
@@ -117,6 +133,15 @@ class LintEngine:
 
 
 # -- baselines ------------------------------------------------------------------
+#
+# Keys are (rule, file, message) — deliberately not line numbers, so
+# unrelated edits above a known finding do not churn the baseline.
+# On disk the file component is stored *relative to the baseline
+# file's own directory* (for a baseline at the repo root: the
+# repo-relative path), so a committed baseline survives checkout
+# moves and CI workspace paths.  Old baselines with absolute paths
+# still load; they match only on the machine that wrote them, so the
+# loader counts them for a deprecation note.
 
 
 def _finding_key(diag):
@@ -124,10 +149,42 @@ def _finding_key(diag):
     return (diag.code, file or "", diag.message)
 
 
+def _match_key(diag):
+    """The absolute-path key findings are matched on."""
+    rule, file, message = _finding_key(diag)
+    return (rule, os.path.abspath(file) if file else "", message)
+
+
+class Baseline(set):
+    """Loaded baseline keys plus load-time metadata.
+
+    Behaves as the plain set of ``(rule, abs-file, message)`` keys
+    older callers expect; ``deprecated_absolute`` counts entries that
+    were stored with absolute paths by a pre-portability writer.
+    """
+
+    def __init__(self, keys=(), deprecated_absolute=0):
+        set.__init__(self, keys)
+        self.deprecated_absolute = deprecated_absolute
+
+
 def write_baseline(path, diagnostics):
-    """Write the accepted-findings baseline for ``diagnostics``."""
-    findings = sorted(
-        {_finding_key(d) for d in diagnostics})
+    """Write the accepted-findings baseline for ``diagnostics``.
+
+    File keys are stored relative to the baseline's directory when
+    the finding lies under it; files outside that tree keep their
+    path as reported (portability is impossible for them anyway).
+    """
+    base = os.path.dirname(os.path.abspath(path)) or os.sep
+    findings = set()
+    for diag in diagnostics:
+        rule, file, message = _finding_key(diag)
+        if file:
+            rel = os.path.relpath(os.path.abspath(file), base)
+            if not rel.startswith(".."):
+                file = rel
+        findings.add((rule, file, message))
+    findings = sorted(findings)
     payload = {
         "schema": BASELINE_SCHEMA,
         "findings": [
@@ -142,10 +199,13 @@ def write_baseline(path, diagnostics):
 
 
 def load_baseline(path):
-    """Load a baseline into a set of ``(rule, file, message)`` keys.
+    """Load a baseline into a :class:`Baseline` of match keys.
 
-    Raises ``ValueError`` on an unknown schema so a stale or foreign
-    file fails loudly instead of silently suppressing everything.
+    Relative file entries are re-anchored to the baseline file's
+    directory; absolute entries (the pre-portability format) are kept
+    as-is and counted in ``deprecated_absolute``.  Raises
+    ``ValueError`` on an unknown schema so a stale or foreign file
+    fails loudly instead of silently suppressing everything.
     """
     with open(path) as fh:
         payload = json.load(fh)
@@ -153,10 +213,17 @@ def load_baseline(path):
         raise ValueError(
             "baseline %r has schema %r, expected %r"
             % (path, payload.get("schema"), BASELINE_SCHEMA))
-    return {
-        (f.get("rule", ""), f.get("file", ""), f.get("message", ""))
-        for f in payload.get("findings", ())
-    }
+    base = os.path.dirname(os.path.abspath(path)) or os.sep
+    keys = set()
+    deprecated = 0
+    for f in payload.get("findings", ()):
+        file = f.get("file", "")
+        if file and os.path.isabs(file):
+            deprecated += 1
+        elif file:
+            file = os.path.normpath(os.path.join(base, file))
+        keys.add((f.get("rule", ""), file, f.get("message", "")))
+    return Baseline(keys, deprecated_absolute=deprecated)
 
 
 def apply_baseline(diagnostics, baseline):
@@ -165,7 +232,8 @@ def apply_baseline(diagnostics, baseline):
         return list(diagnostics), []
     new, suppressed = [], []
     for diag in diagnostics:
-        if _finding_key(diag) in baseline:
+        if _match_key(diag) in baseline \
+                or _finding_key(diag) in baseline:
             suppressed.append(diag)
         else:
             new.append(diag)

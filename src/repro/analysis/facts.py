@@ -47,6 +47,30 @@ class ObjectFact:
             else "")
 
 
+class DriveFact:
+    """One ``rt.assign`` site inside a process.
+
+    The waveform literal's delay elements are classified statically:
+    a site is *zero-delay* only when every element is the constant
+    ``0`` — the delta-cycle assignments whose chains form
+    combinational logic.  Non-constant delays are conservatively
+    treated as non-zero (a computed ``after`` cannot close a
+    combinational loop through the event calendar at delta time).
+    """
+
+    __slots__ = ("target", "guarded", "zero_delay")
+
+    def __init__(self, target, guarded, zero_delay):
+        self.target = target      # py name ('s_q')
+        self.guarded = guarded    # under an 'EVENT test
+        self.zero_delay = zero_delay
+
+    def __repr__(self):
+        return "<DriveFact %s%s%s>" % (
+            self.target, " guarded" if self.guarded else "",
+            " delta" if self.zero_delay else "")
+
+
 class WaitFact:
     """One reachable ``rt.wait`` suspension inside a process."""
 
@@ -68,8 +92,9 @@ class ProcessFact:
     """Dataflow facts for one process statement."""
 
     __slots__ = ("label", "py", "line", "sensitivity", "plain_reads",
-                 "guarded_reads", "attr_uses", "drives", "waits",
-                 "waitless_loops", "unreachable_stmts")
+                 "guarded_reads", "attr_uses", "drives", "drive_sites",
+                 "event_guards", "waits", "waitless_loops",
+                 "unreachable_stmts")
 
     def __init__(self, label, py, line=None, sensitivity=None):
         self.label = label
@@ -81,6 +106,8 @@ class ProcessFact:
         self.guarded_reads = set()  # rt.read under an 'EVENT guard
         self.attr_uses = set()      # rt.event / rt.active / last_value
         self.drives = set()         # rt.assign targets
+        self.drive_sites = []       # DriveFact, in source order
+        self.event_guards = set()   # signals tested with 'EVENT in ifs
         self.waits = []             # WaitFact, in source order
         self.waitless_loops = 0     # infinite loops with no suspension
         self.unreachable_stmts = 0  # statements after such a loop
@@ -307,6 +334,11 @@ def _walk_stmt(stmt, proc, guarded):
     passes control to its successor."""
     if isinstance(stmt, ast.If):
         under_event = guarded or _contains_event_test(stmt.test)
+        for sub in ast.walk(stmt.test):
+            if _rt_call(sub) in ("event", "active") and sub.args:
+                target = _name(sub.args[0])
+                if target:
+                    proc.event_guards.add(target)
         _collect_expr(stmt.test, proc, guarded)
         _walk_stmts(stmt.body, proc, under_event)
         _walk_stmts(stmt.orelse, proc, under_event)
@@ -334,6 +366,25 @@ def _walk_stmt(stmt, proc, guarded):
     # Assignments (variable updates), asserts, everything else: scan
     # the expression subtrees for runtime calls.
     _collect_expr(stmt, proc, guarded)
+    return True
+
+
+def _waveform_is_delta(node):
+    """Is every delay element of an ``rt.assign`` waveform literal the
+    constant ``0``?  Non-literal waveforms and computed delays answer
+    False — a scheduled (non-delta) assignment cannot close a
+    combinational loop, so unknown delays are treated as scheduled."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return False
+    elements = node.elts
+    if not elements:
+        return False
+    for element in elements:
+        if not isinstance(element, (ast.Tuple, ast.List)) \
+                or len(element.elts) < 2:
+            return False
+        if _const(element.elts[1]) != 0:
+            return False
     return True
 
 
@@ -385,6 +436,10 @@ def _collect_expr(node, proc, guarded):
             target = _name(sub.args[0])
             if target:
                 proc.drives.add(target)
+                proc.drive_sites.append(DriveFact(
+                    target, guarded,
+                    _waveform_is_delta(sub.args[1])
+                    if len(sub.args) > 1 else False))
         elif method == "wait":
             # A wait expression reached outside a ``yield`` statement
             # position (defensive; the generator protocol forbids it).

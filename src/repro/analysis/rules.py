@@ -101,6 +101,7 @@ class LintContext:
         self.work = work or (library.work if library is not None
                              else "work")
         self._port_cache = {}
+        self._external_uses = None
 
     def span(self, facts, line):
         if line is None and facts.file is None:
@@ -112,6 +113,37 @@ class LintContext:
         if ports is None:
             return None
         return ports.get(formal)
+
+    def external_uses(self):
+        """Generated binding names each library unit uses without
+        declaring them — references to *another* unit's objects.
+
+        Package-level signals keep one globally-unique binding name
+        (``pkg_<package>_s_<name>``) in every importer, so a name in
+        this set marks the declaring unit's object as used even when
+        every use (a port-map actual, a process read) lives in a
+        different unit.  Purely local bindings (``s_x``) never land
+        here: the unit that uses them also declares them.
+        """
+        if self._external_uses is not None:
+            return self._external_uses
+        refs = set()
+        if self.library is not None:
+            from .facts import extract_unit_facts
+            for key in list(getattr(self.library, "_units", ())):
+                node = self.library.find_unit(*key) \
+                    or self.library._units.get(key)
+                if node is None:
+                    continue
+                facts = extract_unit_facts(node)
+                used = set()
+                for proc in facts.processes:
+                    used |= proc.uses
+                for inst in facts.instances:
+                    used.update(inst.connections.values())
+                refs |= used - set(facts.objects)
+        self._external_uses = refs
+        return refs
 
     def _component_ports(self, component):
         if component in self._port_cache:
@@ -215,9 +247,17 @@ class UnusedSignal(Rule):
             used |= proc.uses
         for inst in facts.instances:
             used.update(inst.connections.values())
+        external = None
         for py in sorted(facts.objects):
             obj = facts.objects[py]
             if obj.kind != "signal" or py in used:
+                continue
+            # Cross-unit uses: a package-level signal may be read (or
+            # wired into an instance port map) only by *other* units;
+            # its globally-unique binding name makes those visible.
+            if external is None:
+                external = ctx.external_uses()
+            if py in external:
                 continue
             yield self.diag(
                 "signal %r is never used" % obj.name,

@@ -143,6 +143,44 @@ def _make_parser():
                    help="also lint a built-in attribute grammar "
                         "(RPA rules; repeatable)")
 
+    p = sub.add_parser(
+        "analyze", parents=[metrics_args],
+        help="whole-design dataflow analysis over the elaborated "
+             "design (RPE rules: combinational loops, drive races, "
+             "cross-clock transfers, dead cones) plus the "
+             "repro-levels/1 levelization artifact")
+    p.add_argument("paths", nargs="*",
+                   help=".vhd files or directories; without --top "
+                        "each file is analyzed as an independent "
+                        "design (its repro-fuzz header or last "
+                        "entity picks the top)")
+    p.add_argument("--top", default=None,
+                   help="treat all files as one design and analyze "
+                        "this entity/configuration (also usable "
+                        "with --root and no files)")
+    p.add_argument("--arch", default=None,
+                   help="architecture of --top (default: latest)")
+    p.add_argument("--select", action="append", default=[],
+                   metavar="PREFIX",
+                   help="only run rules whose id starts with PREFIX "
+                        "(repeatable; default: all design rules)")
+    p.add_argument("--ignore", action="append", default=[],
+                   metavar="PREFIX",
+                   help="skip rules whose id starts with PREFIX "
+                        "(repeatable)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="suppress findings recorded in this "
+                        "repro-lint-baseline/1 file")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="record current findings as the accepted "
+                        "baseline and exit 0")
+    p.add_argument("--format", dest="lint_format", default=None,
+                   choices=("text", "json", "sarif"),
+                   help="finding rendering (default: --diag-format)")
+    p.add_argument("--levels-out", default=None, metavar="FILE",
+                   help="write the repro-levels/1 levelization "
+                        "artifact (single-design runs only)")
+
     p = sub.add_parser("dump", help="human-readable VIF of a unit")
     p.add_argument("library")
     p.add_argument("unit")
@@ -165,6 +203,11 @@ def _make_parser():
                    metavar="N",
                    help="print the N hottest processes (resumes, "
                         "wall clock, sensitivity)")
+    p.add_argument("--analyze", action="store_true",
+                   help="run the elaborated-design analyzer as a "
+                        "pre-flight; error-severity findings "
+                        "(combinational loops, unresolved drive "
+                        "races) abort before the kernel runs")
 
     p = sub.add_parser("stats", help="print the AG-statistics table")
     p.add_argument("--json", dest="as_json", action="store_true",
@@ -224,6 +267,11 @@ def _make_parser():
                    choices=("text", "json"),
                    help="report encoding (json prints the full "
                         "repro-metrics/1 fuzz-report envelope)")
+    p.add_argument("--analyze", action="store_true",
+                   help="also run the elaborated-design analyzer on "
+                        "every generated design: analyzer crashes "
+                        "and RPE001 findings on quiescent designs "
+                        "are sweep failures")
 
     p = sub.add_parser(
         "bench-check",
@@ -573,6 +621,236 @@ def cmd_lint(args, out):
     return 1 if ordered else 0
 
 
+def _analyze_header_meta(path):
+    """The ``-- repro-fuzz:`` header of a file, if any (corpus
+    entries pin their top entity and expected outcome there)."""
+    from .gen import corpus as corpus_store
+
+    meta = {}
+    try:
+        with open(path) as fh:
+            for line in fh:
+                stripped = line.strip()
+                if stripped.startswith(corpus_store.HEADER_PREFIX):
+                    rest = stripped[
+                        len(corpus_store.HEADER_PREFIX):].strip()
+                    for key, value in corpus_store._KV.findall(rest):
+                        meta[key] = value
+                elif stripped and not stripped.startswith("--"):
+                    break
+    except OSError:
+        pass
+    return meta
+
+
+def cmd_analyze(args, out):
+    """Whole-design analysis: elaborate, flatten, run the RPE rules.
+
+    Exit codes mirror ``lint``: 0 clean (notes allowed), 1 new
+    warning-or-worse findings, 2 compile/elaboration/usage trouble.
+    Files carrying a ``-- repro-fuzz: expect=`` header other than
+    ``ok`` are analyzed for information only: the corpus pins known
+    failures (multi-driver races above all) whose findings are
+    expected, so they never gate.
+    """
+    from .analysis import (
+        LintEngine,
+        apply_baseline,
+        build_netlist,
+        levels_artifact,
+        load_baseline,
+        write_baseline,
+    )
+    from .diag import DiagnosticEngine, render
+    from .vhdl.compiler import CompileError, Compiler
+    from .vhdl.elaborate import ElaborationError, Elaborator
+    from .vhdl.library import LibraryManager
+    from .vhdl.symtab import entry_kind
+
+    fmt = args.lint_format or args.diag_format
+    # With --format sarif, stdout must be the SARIF document and
+    # nothing else (CI redirects it straight into an artifact), so
+    # every human-facing line moves to stderr.
+    if fmt == "sarif":
+        def say(line):
+            print(line, file=sys.stderr)
+    else:
+        say = out
+    registry = _registry_for(args)
+    files = _collect_vhdl_paths(args.paths, say)
+    if files is None:
+        return 2
+    if not files and not (args.top and args.root):
+        say("analyze: nothing to analyze (no .vhd files; use --top "
+            "with --root to analyze a built library)")
+        return 2
+
+    # Each job: (label, library, top, arch, expect, sources)
+    jobs = []
+    if args.top and files:
+        # All files form one design.
+        library = LibraryManager(root=None, work=args.work,
+                                 reference_libs=tuple(args.ref))
+        compiler = Compiler(library=library, work=args.work,
+                            strict=False)
+        sources = {}
+        for path in files:
+            try:
+                result = compiler.compile_file(path)
+            except CompileError as exc:
+                say("%s: %d error(s)" % (path, len(exc.messages)))
+                for message in exc.messages:
+                    say("  %s" % message)
+                return 2
+            if not result.ok:
+                say("%s: %d error(s)" % (path, len(result.messages)))
+                for message in result.messages:
+                    say("  %s" % message)
+                return 2
+            try:
+                with open(path) as fh:
+                    sources[path] = fh.read()
+            except OSError:
+                pass
+        jobs.append((args.top, library, args.top, args.arch, "ok",
+                     sources))
+    elif args.top:
+        jobs.append((args.top, _library(args), args.top, args.arch,
+                     "ok", {}))
+    else:
+        # Each file is an independent design.
+        for path in files:
+            meta = _analyze_header_meta(path)
+            expect = meta.get("expect", "ok")
+            library = LibraryManager(root=None, work=args.work,
+                                     reference_libs=tuple(args.ref))
+            compiler = Compiler(library=library, work=args.work,
+                                strict=False)
+            try:
+                result = compiler.compile_file(path)
+                ok = result.ok
+                messages = result.messages
+            except CompileError as exc:
+                ok = False
+                messages = exc.messages
+            if not ok:
+                if expect == "rejected":
+                    say("%s: does not compile (expected; skipped)"
+                        % path)
+                    continue
+                say("%s: %d error(s)" % (path, len(messages)))
+                for message in messages:
+                    say("  %s" % message)
+                return 2
+            top = meta.get("top")
+            if top is None:
+                entities = [u.name for u in result.units
+                            if entry_kind(u) == "entity"]
+                if not entities:
+                    say("%s: no entity to analyze; skipped" % path)
+                    continue
+                top = entities[-1]
+            sources = {}
+            try:
+                with open(path) as fh:
+                    sources[path] = fh.read()
+            except OSError:
+                pass
+            jobs.append((path, library, top, None, expect, sources))
+
+    if args.levels_out and len(jobs) != 1:
+        say("analyze: --levels-out needs exactly one design "
+            "(got %d)" % len(jobs))
+        return 2
+
+    gating = []       # findings that count toward the exit code
+    informational = []  # findings on expected-failure designs
+    all_sources = {}
+    engine = LintEngine(library=None, work=args.work,
+                        select=args.select, ignore=args.ignore,
+                        metrics=registry)
+    designs_analyzed = 0
+    for label, library, top, arch, expect, sources in jobs:
+        engine.context.library = library
+        try:
+            elab = Elaborator(library)
+            sim = elab.elaborate(top, arch_name=arch)
+        except ElaborationError as exc:
+            if expect != "ok":
+                say("%s: does not elaborate (expected; skipped): %s"
+                    % (label, exc))
+                continue
+            say("analyze: %s: elaboration failed: %s" % (label, exc))
+            return 2
+        graph = build_netlist(sim.records)
+        findings = engine.lint_design(graph)
+        designs_analyzed += 1
+        all_sources.update(sources)
+        if expect == "ok":
+            gating.extend(findings)
+        else:
+            informational.extend(findings)
+        if args.levels_out:
+            artifact = levels_artifact(graph)
+            parent = os.path.dirname(args.levels_out)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            tmp = "%s.tmp.%d" % (args.levels_out, os.getpid())
+            with open(tmp, "w") as fh:
+                json.dump(artifact, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, args.levels_out)
+            say("levelization artifact written to %s "
+                "(%d level(s), %d cyclic signal(s))"
+                % (args.levels_out,
+                   len(artifact["levels"]),
+                   len(artifact["cyclic"])))
+
+    if args.write_baseline:
+        n = write_baseline(args.write_baseline, gating)
+        say("analyze baseline written to %s (%d finding(s))"
+            % (args.write_baseline, n))
+        _emit_metrics(registry, args, say, "analyze metrics")
+        return 0
+
+    suppressed = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            say("analyze: cannot load baseline: %s" % exc)
+            return 2
+        if baseline.deprecated_absolute:
+            say("analyze: baseline %s has %d absolute-path entr%s "
+                "(deprecated; rewrite with --write-baseline for a "
+                "checkout-portable baseline)"
+                % (args.baseline, baseline.deprecated_absolute,
+                   "y" if baseline.deprecated_absolute == 1
+                   else "ies"))
+        gating, suppressed = apply_baseline(gating, baseline)
+
+    diag_engine = DiagnosticEngine(werror=args.werror)
+    for diag in gating:
+        diag_engine.emit(diag)
+    for diag in informational:
+        diag_engine.emit(diag)
+    ordered = diag_engine.sorted()
+    if ordered or fmt == "sarif":
+        out(render(ordered, fmt, sources=all_sources))
+    blocking = [d for d in gating
+                if d.severity not in ("note",)]
+    tail = "analyze: %s" % diag_engine.summary()
+    if suppressed:
+        tail += ", %d baseline-suppressed" % len(suppressed)
+    if informational:
+        tail += ", %d on expected-failure designs (not gating)" \
+            % len(informational)
+    tail += " (%d design(s) analyzed)" % designs_analyzed
+    say(tail)
+    _emit_metrics(registry, args, say, "analyze metrics")
+    return 1 if blocking else 0
+
+
 def cmd_dump(args, out):
     lib = _library(args)
     out(lib.dump_vif(args.library, args.unit))
@@ -646,6 +924,29 @@ def cmd_simulate(args, out):
         with _span("elaborate"):
             elab = Elaborator(library, kernel=kernel)
             sim = elab.elaborate(top, arch_name=args.arch)
+        if args.analyze:
+            # Pre-flight: the whole-design analyzer sees the same
+            # elaborated hierarchy the kernel is about to run; an
+            # error-severity finding (combinational loop, unresolved
+            # drive race) would hang or abort the simulation anyway,
+            # so fail fast with the structured diagnostic instead.
+            from .analysis import LintEngine, build_netlist
+            from .diag import render as render_findings
+
+            with _span("analyze"):
+                graph = build_netlist(sim.records)
+                findings = LintEngine(
+                    library=library, work=args.work,
+                    metrics=registry).lint_design(graph)
+            if findings:
+                out(render_findings(findings, args.diag_format))
+            blocking = [d for d in findings
+                        if d.severity in ("error", "fatal")]
+            if blocking:
+                out("sim: analyze pre-flight found %d blocking "
+                    "finding(s); not starting the kernel"
+                    % len(blocking))
+                return 1
         tracer = None
         if args.trace or args.vcd:
             signals = []
@@ -785,7 +1086,8 @@ def cmd_fuzz(args, out):
     registry = _registry_for(args)
     report = run_sweep(
         args.seed, args.budget, jobs=args.jobs,
-        shrink_failures=args.shrink, metrics=registry)
+        shrink_failures=args.shrink, metrics=registry,
+        analyze=args.analyze)
 
     if args.format == "json":
         out(json.dumps(report.as_envelope(), indent=1,
@@ -912,6 +1214,7 @@ def _cmd_trace(args, out):
 
 
 COMMANDS = {
+    "analyze": cmd_analyze,
     "build": cmd_build,
     "compile": cmd_compile,
     "dump": cmd_dump,

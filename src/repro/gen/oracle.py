@@ -97,14 +97,22 @@ class CheckResult:
             self.outcome, ": " + self.detail if self.detail else "")
 
 
-def check_design(design):
+def check_design(design, analyze=False):
     """Run one :class:`~repro.gen.grammar.GeneratedDesign`."""
     return check_source(design.source, design.top,
-                        until_ns=design.until_ns)
+                        until_ns=design.until_ns, analyze=analyze)
 
 
-def check_source(source, top, until_ns=1000, filename="<gen>"):
-    """Compile → lint → differential-simulate one source text."""
+def check_source(source, top, until_ns=1000, filename="<gen>",
+                 analyze=False):
+    """Compile → lint → differential-simulate one source text.
+
+    With ``analyze`` the elaborated-design analyzer runs as an extra
+    oracle leg: an analyzer exception is a ``crash``, and an RPE001
+    combinational-loop finding on a design both kernels simulate to
+    quiescence is a ``divergence`` — the static claim (the design
+    would delta-storm) contradicts the observed dynamics.
+    """
     library = LibraryManager(root=None)
     compiler = Compiler(library=library, strict=False)
     try:
@@ -143,6 +151,14 @@ def check_source(source, top, until_ns=1000, filename="<gen>"):
         return CheckResult("crash", detail="lint raised:\n%s"
                            % traceback.format_exc())
 
+    # -- static design analysis (optional oracle leg) ------------------
+    design_findings = None
+    if analyze:
+        design_findings = _analyze(library, top)
+        if isinstance(design_findings, CheckResult):  # analyzer crash
+            design_findings.lint_findings = len(findings)
+            return design_findings
+
     # -- differential simulation ---------------------------------------
     until_fs = until_ns * NS
     cal = _simulate(Kernel, library, top, until_fs)
@@ -168,7 +184,41 @@ def check_source(source, top, until_ns=1000, filename="<gen>"):
     if mismatch is not None:
         return CheckResult("divergence", detail=mismatch,
                           lint_findings=len(findings))
+    if design_findings:
+        loops = [d for d in design_findings if d.code == "RPE001"]
+        if loops:
+            return CheckResult(
+                "divergence",
+                detail="static/dynamic divergence: analyzer reports "
+                "%r but both kernels ran to quiescence" %
+                loops[0].message,
+                lint_findings=len(findings))
     return CheckResult("ok", lint_findings=len(findings))
+
+
+def _analyze(library, top):
+    """The analyzer leg: elaborate once more, flatten, run RPE rules.
+
+    Returns the finding list, or a ``crash`` :class:`CheckResult`
+    when the analyzer itself blows up.  A design the elaborator
+    rejects yields no findings — the differential legs classify that
+    fate themselves.
+    """
+    from ..analysis import LintEngine, build_netlist
+
+    try:
+        sim = Elaborator(library, kernel=Kernel()).elaborate(top)
+    except _SIM_ERRORS:
+        return []
+    except Exception:
+        return CheckResult("crash", detail="analyze elaborate "
+                           "raised:\n%s" % traceback.format_exc())
+    try:
+        graph = build_netlist(sim.records)
+        return LintEngine(library=library).lint_design(graph)
+    except Exception:
+        return CheckResult("crash", detail="analyze raised:\n%s"
+                           % traceback.format_exc())
 
 
 def _first_line(messages):

@@ -37,7 +37,7 @@ LINE_BUCKETS = log125_buckets(1, 10**4)
 SHRINK_BUCKETS = log125_buckets(1, 10**4)
 
 
-def fuzz_task(seed, index):
+def fuzz_task(seed, index, analyze=False):
     """Generate + check design ``index``; picklable in, pickle out.
 
     When the submitter activated a span context (a traced sweep —
@@ -51,7 +51,7 @@ def fuzz_task(seed, index):
     design = generate_for(seed, index)
     ts_us = time.time() * 1e6
     t0 = time.perf_counter()
-    result = check_design(design)
+    result = check_design(design, analyze=analyze)
     seconds = time.perf_counter() - t0
     record = {
         "index": index,
@@ -72,7 +72,7 @@ def fuzz_task(seed, index):
 
 def _task_crash(args, exc):
     """A worker that died *is* a harness crash — report it as one."""
-    seed, index = args
+    seed, index = args[0], args[1]
     return {
         "index": index,
         "outcome": "crash",
@@ -131,8 +131,15 @@ class FuzzReport:
 
 
 def run_sweep(seed, budget, jobs=1, shrink_failures=True,
-              metrics=None, max_shrink_evals=400, progress=None):
-    """Check ``budget`` designs; returns a :class:`FuzzReport`."""
+              metrics=None, max_shrink_evals=400, progress=None,
+              analyze=False):
+    """Check ``budget`` designs; returns a :class:`FuzzReport`.
+
+    ``analyze`` adds the elaborated-design analyzer as an oracle leg
+    (see :func:`repro.gen.oracle.check_source`); the flag is part of
+    the task arguments, so jobs=N and serial sweeps stay
+    byte-identical for the same (seed, budget, analyze) triple.
+    """
     registry = metrics if metrics is not None else NULL_REGISTRY
     m_designs = registry.counter(
         "fuzz_designs_total", "checked designs by oracle outcome")
@@ -150,7 +157,7 @@ def run_sweep(seed, budget, jobs=1, shrink_failures=True,
     t0 = time.perf_counter()
     with ForkPool(jobs=jobs, on_error=_task_crash) as pool:
         records = pool.map_ordered(
-            fuzz_task, [(seed, i) for i in range(budget)])
+            fuzz_task, [(seed, i, analyze) for i in range(budget)])
     for record in records:
         report.records.append(record)
         report.trace_events.extend(record.get("trace", ()))
@@ -161,7 +168,7 @@ def run_sweep(seed, budget, jobs=1, shrink_failures=True,
         m_seconds.observe(record["seconds"])
         if outcome in FAILURE_OUTCOMES:
             failure = _minimize(seed, record, shrink_failures,
-                                max_shrink_evals)
+                                max_shrink_evals, analyze=analyze)
             if failure.get("shrunk"):
                 report.shrunk += 1
                 m_shrink.observe(failure["shrink_evals"])
@@ -172,7 +179,8 @@ def run_sweep(seed, budget, jobs=1, shrink_failures=True,
     return report
 
 
-def _minimize(seed, record, shrink_failures, max_shrink_evals):
+def _minimize(seed, record, shrink_failures, max_shrink_evals,
+              analyze=False):
     """Shrink one failing design in the parent process."""
     index = record["index"]
     design = generate_for(seed, index)
@@ -185,8 +193,9 @@ def _minimize(seed, record, shrink_failures, max_shrink_evals):
         "source": design.source,
         "top": design.top,
         "until_ns": design.until_ns,
-        "replay": "repro fuzz --seed %d --budget %d"
-                  % (seed, index + 1),
+        "replay": "repro fuzz --seed %d --budget %d%s"
+                  % (seed, index + 1,
+                     " --analyze" if analyze else ""),
         "shrunk": False,
     }
     if not shrink_failures or not record["choices"]:
@@ -197,7 +206,8 @@ def _minimize(seed, record, shrink_failures, max_shrink_evals):
     def still_fails(choices):
         try:
             replayed = replay(choices, seed=seed, index=index)
-            return check_design(replayed).outcome == want
+            return check_design(replayed,
+                                analyze=analyze).outcome == want
         except Exception:
             return False
 

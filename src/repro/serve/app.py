@@ -13,6 +13,11 @@ Routes (all JSON unless noted):
                                library (``files``, ``force``)
 ``/lint``              POST    in-memory lint of posted ``files`` (or
                                the session library when omitted)
+``/analyze``           POST    elaborate + whole-design (RPE) rules
+                               over posted ``files`` or the session
+                               library (``top``, ``select``,
+                               ``ignore``); the response carries the
+                               ``repro-levels/1`` artifact
 ``/sim``               POST    elaborate + simulate (``top``,
                                ``arch``, ``until``, ``lib``)
 ``/trace``             GET     recent spans from the in-memory ring
@@ -177,7 +182,7 @@ class ServeApp:
     def _route_label(self, request):
         head = request.path.strip("/").split("/", 1)[0] or "root"
         known = ("healthz", "metrics", "stats", "session", "sessions",
-                 "compile", "lint", "sim", "trace")
+                 "compile", "lint", "analyze", "sim", "trace")
         return head if head in known else "other"
 
     async def _dispatch(self, request):
@@ -215,9 +220,12 @@ class ServeApp:
             return await self._compile(request)
         if path == "/lint" and method == "POST":
             return await self._lint(request)
+        if path == "/analyze" and method == "POST":
+            return await self._analyze(request)
         if path == "/sim" and method == "POST":
             return await self._sim(request)
-        if path in ("/compile", "/lint", "/sim", "/session"):
+        if path in ("/compile", "/lint", "/analyze", "/sim",
+                    "/session"):
             raise HTTPError(405, "%s does not accept %s"
                             % (path, method))
         raise HTTPError(404, "no route %s %s"
@@ -260,6 +268,22 @@ class ServeApp:
             raise HTTPError(400, "'files' must be a list when given")
         result = await self.jobs.lint(
             ws, files=files,
+            select=body.get("select") or (),
+            ignore=body.get("ignore") or ())
+        return Response.json(result)
+
+    async def _analyze(self, request):
+        self._require_up()
+        body = request.json()
+        ws = self._workspace(body)
+        files = body.get("files")
+        if files is not None and not isinstance(files, list):
+            raise HTTPError(400, "'files' must be a list when given")
+        top = body.get("top")
+        if top is not None and not isinstance(top, str):
+            raise HTTPError(400, "'top' must be a string when given")
+        result = await self.jobs.analyze(
+            ws, files=files, top=top,
             select=body.get("select") or (),
             ignore=body.get("ignore") or ())
         return Response.json(result)

@@ -458,6 +458,110 @@ class JobRunner:
         }
 
 
+    # -- analyze -----------------------------------------------------------
+
+    async def analyze(self, workspace, files=None, top=None,
+                      select=(), ignore=()):
+        """Elaborate and run the whole-design (RPE) rules — either
+        over ``files`` compiled in memory or over the session
+        library.  Read-only, like lint: runs on the executor against
+        a pinned snapshot, concurrent with other readers."""
+        loop = asyncio.get_running_loop()
+        job_id = self.next_id()
+        ctx = current_context()
+        self._job_started()
+        submitted = time.perf_counter()
+        submitted_ts = time.time() * 1e6
+        try:
+            result = await loop.run_in_executor(
+                self.executor, self._run_analyze, workspace, files,
+                top, tuple(select), tuple(ignore))
+        finally:
+            self._m_jobs.labels(kind="analyze").inc()
+            self._job_finished()
+        if ctx is not None and self.trace is not None:
+            self.trace.add(make_span(
+                "analyze", ctx.child(), submitted_ts,
+                (time.perf_counter() - submitted) * 1e6,
+                cat="serve", job=job_id))
+        result["id"] = job_id
+        result["kind"] = "analyze"
+        result["session"] = workspace.id
+        result["timing"] = {
+            "run_s": round(time.perf_counter() - submitted, 6),
+        }
+        return result
+
+    def _run_analyze(self, workspace, files, top, select, ignore):
+        from ..analysis import (
+            LintEngine,
+            build_netlist,
+            levels_artifact,
+        )
+        from ..diag import DiagnosticEngine
+        from ..vhdl.compiler import CompileError, Compiler
+        from ..vhdl.elaborate import ElaborationError, Elaborator
+        from ..vhdl.library import LibraryManager
+        from ..vhdl.symtab import entry_kind
+
+        if files:
+            library = LibraryManager(root=None, work="work")
+            compiler = Compiler(library=library, work="work",
+                                strict=False)
+            entities = []
+            for entry in files:
+                name = entry.get("name", "<input>")
+                try:
+                    result = compiler.compile(entry.get("text", ""),
+                                              filename=name)
+                except CompileError as exc:
+                    return {"ok": False,
+                            "error": "%s: %d compile error(s)"
+                                     % (name, len(exc.messages)),
+                            "messages": list(exc.messages)}
+                if not result.ok:
+                    return {"ok": False,
+                            "error": "%s: %d compile error(s)"
+                                     % (name, len(result.messages)),
+                            "messages": list(result.messages)}
+                entities.extend(u.name for u in result.units
+                                if entry_kind(u) == "entity")
+            if top is None:
+                if not entities:
+                    return {"ok": False,
+                            "error": "no entity to analyze"}
+                top = entities[-1]
+        else:
+            if top is None:
+                return {"ok": False,
+                        "error": "analyze without files needs a "
+                                 "'top' entity name"}
+            library = workspace.snapshot()
+        try:
+            sim = Elaborator(library).elaborate(top)
+        except ElaborationError as exc:
+            return {"ok": False,
+                    "error": "ElaborationError: %s" % exc}
+        graph = build_netlist(sim.records)
+        engine = LintEngine(library=library, work="work",
+                            select=list(select),
+                            ignore=list(ignore))
+        findings = engine.lint_design(graph)
+        diag_engine = DiagnosticEngine()
+        for diag in findings:
+            diag_engine.emit(diag)
+        ordered = diag_engine.sorted()
+        return {
+            "ok": not any(d.severity in ("error", "fatal")
+                          for d in ordered),
+            "top": top,
+            "findings": len(ordered),
+            "findings_jsonl": render_jsonl(ordered),
+            "summary": diag_engine.summary(),
+            "levels": levels_artifact(graph),
+        }
+
+
 def _seconds_buckets():
     from ..metrics.registry import SECONDS_BUCKETS
 

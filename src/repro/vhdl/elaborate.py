@@ -21,6 +21,35 @@ from .codegen.pymodel import load_model
 from .symtab import entry_kind
 
 
+class DesignRecord:
+    """The elaboration trace of one architecture or package instance.
+
+    The elaborator appends one record per ``elaborate(ctx)`` call it
+    executes, mapping the VHDL names the generated model declared to
+    the elaborated kernel objects they produced — including ports,
+    whose recorded :class:`~repro.sim.signals.Signal` is the *parent's
+    actual* when the port map bound one.  The post-elaboration
+    analyzer (:mod:`repro.analysis.netlist`) correlates these records
+    with the static facts of the same units to build the flattened
+    whole-design dataflow graph.
+    """
+
+    __slots__ = ("path", "kind", "node", "signals", "processes",
+                 "instances")
+
+    def __init__(self, path, kind, node):
+        self.path = path        # hierarchical instance path
+        self.kind = kind        # 'architecture' | 'package'
+        self.node = node        # the VIF unit carrying py_source
+        self.signals = {}       # VHDL name -> Signal (ports included)
+        self.processes = {}     # label -> Process
+        self.instances = {}     # label -> child DesignRecord
+
+    def __repr__(self):
+        return "<DesignRecord %s: %d signals, %d processes>" % (
+            self.path, len(self.signals), len(self.processes))
+
+
 class ElaborationError(Exception):
     """A binding or interface mismatch found during elaboration."""
 
@@ -29,7 +58,7 @@ class ElabContext:
     """The ``ctx`` object generated models receive."""
 
     def __init__(self, elaborator, path, generics=None, ports=None,
-                 arch_node=None, config_rows=()):
+                 arch_node=None, config_rows=(), record=None):
         self._elab = elaborator
         self.kernel = elaborator.kernel
         self.rt = elaborator.kernel.rt
@@ -40,6 +69,7 @@ class ElabContext:
         self._arch = arch_node
         self._config_rows = list(config_rows)
         self._exports = {}
+        self._record = record
 
     # -- interface ------------------------------------------------------------
 
@@ -57,6 +87,8 @@ class ElabContext:
         if sig is None:
             # Unbound/top-level port: a fresh signal.
             sig = self.signal(name, init, line=line)
+        elif self._record is not None:
+            self._record.signals[name] = sig
         return sig
 
     # -- declarations ------------------------------------------------------------
@@ -82,6 +114,8 @@ class ElabContext:
             "%s%s%s" % (self.path, SEPARATOR, name), init, res)
         sig.decl_span = self._decl_span(line)
         self._elab.names.register(sig.name, "signal", sig)
+        if self._record is not None:
+            self._record.signals[name] = sig
         return sig
 
     def process(self, name, fn, sensitivity=None, line=None):
@@ -89,6 +123,8 @@ class ElabContext:
             "%s%s%s" % (self.path, SEPARATOR, name), fn,
             sensitivity=sensitivity, line=line)
         self._elab.names.register(proc.name, "process", proc)
+        if self._record is not None:
+            self._record.processes[name] = proc
         return proc
 
     def export(self, names):
@@ -109,9 +145,11 @@ class ElabContext:
         child_path = "%s%s%s" % (self.path, SEPARATOR, label)
         self._elab.names.register(child_path, "instance",
                                   (entity.name, arch.name))
-        self._elab.elaborate_architecture(
+        child = self._elab.elaborate_architecture(
             entity, arch, child_path, generics=generic_map,
             ports=port_map)
+        if self._record is not None and child._record is not None:
+            self._record.instances[label] = child._record
 
 
 class Elaborator:
@@ -121,6 +159,10 @@ class Elaborator:
         self.library = library
         self.kernel = kernel or Kernel()
         self.names = NameServer()
+        #: DesignRecord per elaborated architecture/package instance,
+        #: in elaboration order (top after its packages, children
+        #: after the ``ctx.instance`` call that created them).
+        self.records = []
         self._package_ns = {}
         self._packages_loaded = False
 
@@ -143,7 +185,11 @@ class Elaborator:
             py = getattr(node, "py_source", "")
             if not py or "elaborate" not in py:
                 continue
-            ctx = ElabContext(self, SEPARATOR + node.name)
+            record = DesignRecord(SEPARATOR + node.name, "package",
+                                  node)
+            self.records.append(record)
+            ctx = ElabContext(self, SEPARATOR + node.name,
+                              record=record)
             ns = load_model(py, "%s.%s" % (lib, key),
                             extra_globals=self._package_ns)
             ns["elaborate"](ctx)
@@ -200,8 +246,10 @@ class Elaborator:
     def elaborate_architecture(self, entity, arch, path, generics=None,
                                ports=None, config_rows=()):
         self._load_packages()
+        record = DesignRecord(path, "architecture", arch)
+        self.records.append(record)
         ctx = ElabContext(self, path, generics, ports, arch,
-                          config_rows)
+                          config_rows, record=record)
         ns = load_model(arch.py_source,
                         "%s(%s)" % (arch.name, entity.name),
                         extra_globals=self._package_ns)
@@ -247,15 +295,16 @@ class Elaborator:
         self.elaborate_architecture(entity, arch, path,
                                     generics=generics,
                                     config_rows=config_rows)
-        return Simulation(self.kernel, self.names)
+        return Simulation(self.kernel, self.names, self.records)
 
 
 class Simulation:
     """A ready-to-run simulation: kernel plus name server."""
 
-    def __init__(self, kernel, names):
+    def __init__(self, kernel, names, records=()):
         self.kernel = kernel
         self.names = names
+        self.records = list(records)
 
     def run(self, until_fs=None, max_cycles=None):
         return self.kernel.run(until=until_fs, max_cycles=max_cycles)

@@ -1,0 +1,31 @@
+-- RPL003 true-positive twin of rpl003_xunit_clean.vhd: the package
+-- signal is declared but no unit anywhere reads, drives, or maps it.
+package shared is
+  signal bus_s : bit;
+end shared;
+
+entity sink is
+  port (d : in bit);
+end sink;
+
+architecture rtl of sink is
+begin
+  watch : process (d)
+  begin
+    assert d = '0' or d = '1';
+  end process;
+end rtl;
+
+entity holder is
+end holder;
+
+use work.shared.all;
+
+architecture top of holder is
+  component sink
+    port (d : in bit);
+  end component;
+  signal local_s : bit;
+begin
+  u0 : sink port map (d => local_s);
+end top;

@@ -1,0 +1,31 @@
+-- RPL003 true-negative: the package signal is never referenced in
+-- the package's own unit, but another unit reads it through an
+-- instance port map — it IS used, just not where it was declared.
+package shared is
+  signal bus_s : bit;
+end shared;
+
+entity sink is
+  port (d : in bit);
+end sink;
+
+architecture rtl of sink is
+begin
+  watch : process (d)
+  begin
+    assert d = '0' or d = '1';
+  end process;
+end rtl;
+
+entity holder is
+end holder;
+
+use work.shared.all;
+
+architecture top of holder is
+  component sink
+    port (d : in bit);
+  end component;
+begin
+  u0 : sink port map (d => bus_s);
+end top;

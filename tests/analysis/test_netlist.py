@@ -1,0 +1,207 @@
+"""Flattening the elaborated design into the dataflow graph.
+
+The netlist correlates ``Elaborator.records`` with the per-unit
+static facts; these tests pin the structural claims everything in
+:mod:`repro.analysis.dataflow` depends on — port-map identity
+merging, package-signal resolution, top-port marking, and the
+combinational/clocked/time-paced process classification.
+"""
+
+from repro.analysis import build_netlist
+from repro.vhdl.elaborate import Elaborator
+
+from .conftest import compile_source
+
+TWO_INSTANCE_LOOP = """
+entity inv is
+  port (a : in bit; b : out bit);
+end inv;
+
+architecture rtl of inv is
+begin
+  b <= not a;
+end rtl;
+
+entity looptop is
+end looptop;
+
+architecture top of looptop is
+  component inv
+    port (a : in bit; b : out bit);
+  end component;
+  signal x, y : bit;
+begin
+  u1 : inv port map (a => x, b => y);
+  u2 : inv port map (a => y, b => x);
+end top;
+"""
+
+CLOCKED_CHAIN = """
+entity chain is end chain;
+architecture a of chain is
+  signal clk : bit := '0';
+  signal count : integer := 0;
+  signal s1 : integer := 0;
+  signal s2 : integer := 0;
+begin
+  clkgen : process
+  begin
+    clk <= not clk after 5 ns;
+    wait on clk;
+  end process;
+  reg : process (clk)
+  begin
+    if clk'event and clk = '1' then
+      count <= count + 1;
+    end if;
+  end process;
+  c1 : s1 <= count + 1;
+  c2 : s2 <= s1 + 1;
+  mon : process (s2)
+  begin
+    assert s2 >= 0;
+  end process;
+end a;
+"""
+
+PACKAGE_SIGNAL = """
+package shared is
+  signal bus_s : bit;
+end shared;
+
+entity sink is
+  port (d : in bit);
+end sink;
+
+architecture rtl of sink is
+begin
+  watch : process (d)
+  begin
+    assert d = '0' or d = '1';
+  end process;
+end rtl;
+
+entity holder is
+end holder;
+
+use work.shared.all;
+
+architecture top of holder is
+  component sink
+    port (d : in bit);
+  end component;
+begin
+  u0 : sink port map (d => bus_s);
+end top;
+"""
+
+
+def graph_for(source, top):
+    compiler = compile_source(source)
+    sim = Elaborator(compiler.library).elaborate(top)
+    return build_netlist(sim.records)
+
+
+def by_path(graph):
+    return {s.path: s for s in graph.signals}
+
+
+def proc_by_path(graph):
+    return {p.path: p for p in graph.processes}
+
+
+class TestPortMapMerging:
+    def test_child_port_and_parent_local_are_one_node(self):
+        graph = graph_for(TWO_INSTANCE_LOOP, "looptop")
+        # Two locals in the top, bound into both instances: the
+        # flattened graph has exactly two signal nodes, not six.
+        assert sorted(s.path for s in graph.signals) == \
+            [":looptop:x", ":looptop:y"]
+
+    def test_cross_instance_edges_resolve_through_port_maps(self):
+        graph = graph_for(TWO_INSTANCE_LOOP, "looptop")
+        signals = by_path(graph)
+        x, y = signals[":looptop:x"], signals[":looptop:y"]
+        # u1 reads x and drives y; u2 reads y and drives x.
+        assert {d.target for d in x.drivers} == {x}
+        assert len(x.drivers) == 1 and len(y.drivers) == 1
+        edges = {(src.path, dst.path)
+                 for src, dst, _ in graph.comb_edges()}
+        assert edges == {(":looptop:x", ":looptop:y"),
+                         (":looptop:y", ":looptop:x")}
+
+    def test_top_path_and_stats(self):
+        graph = graph_for(TWO_INSTANCE_LOOP, "looptop")
+        assert graph.top_path == ":looptop"
+        stats = graph.stats()
+        assert stats["signals"] == 2
+        assert stats["processes"] == 2
+        assert stats["comb_edges"] == 2
+
+
+class TestPackageSignals:
+    def test_package_signal_is_one_node_across_units(self):
+        graph = graph_for(PACKAGE_SIGNAL, "holder")
+        signals = by_path(graph)
+        (bus,) = [s for path, s in signals.items()
+                  if path.endswith("bus_s")]
+        # The sink's watch process reads it through the port map.
+        assert [p.label for p in bus.readers] == ["watch"]
+
+
+class TestProcessClassification:
+    def test_clock_generator_is_time_paced_not_combinational(self):
+        graph = graph_for(CLOCKED_CHAIN, "chain")
+        procs = proc_by_path(graph)
+        clkgen = procs[":chain:clkgen"]
+        # ``after 5 ns`` => the drive is not zero-delay; the process
+        # never reaches a timeout wait, but the delayed drive alone
+        # keeps it out of the comb graph.
+        assert not clkgen.combinational
+        assert not clkgen.is_clocked
+
+    def test_event_guarded_register_is_clocked(self):
+        graph = graph_for(CLOCKED_CHAIN, "chain")
+        procs = proc_by_path(graph)
+        reg = procs[":chain:reg"]
+        assert reg.is_clocked
+        assert not reg.combinational
+        assert {c.path for c in reg.clocks} == {":chain:clk"}
+        # The guarded self-read is a guarded read, not a plain one;
+        # the clock itself is classified as a clock, not a data read.
+        assert {s.path for s in reg.reads_guarded} == {":chain:count"}
+
+    def test_concurrent_assign_is_combinational(self):
+        graph = graph_for(CLOCKED_CHAIN, "chain")
+        combs = [p for p in graph.processes if p.combinational]
+        assert sorted(p.label for p in combs) == ["c1", "c2"]
+        for proc in combs:
+            (drive,) = proc.drives
+            assert drive.zero_delay and not drive.guarded
+
+    def test_observer_has_readers_edge_but_no_drives(self):
+        graph = graph_for(CLOCKED_CHAIN, "chain")
+        procs = proc_by_path(graph)
+        mon = procs[":chain:mon"]
+        assert mon.drives == []
+        signals = by_path(graph)
+        assert mon in signals[":chain:s2"].readers
+
+
+class TestTopPorts:
+    def test_unbound_top_ports_are_marked(self):
+        graph = graph_for("""
+            entity io_top is
+              port (din : in integer; dout : out integer);
+            end io_top;
+            architecture a of io_top is
+            begin
+              dout <= din + 1;
+            end a;
+        """, "io_top")
+        flags = {s.path: s.is_top_port for s in graph.signals}
+        assert all(flags.values()), flags
+
+    def test_internal_signals_are_not_top_ports(self):
+        graph = graph_for(TWO_INSTANCE_LOOP, "looptop")
+        assert not any(s.is_top_port for s in graph.signals)

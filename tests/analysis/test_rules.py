@@ -48,6 +48,20 @@ class TestSeededDefects:
         assert lint_fixture(fixture) == []
 
 
+class TestRpl003CrossUnit:
+    """Signals used only *through an instance port map in another
+    unit* are used: RPL003 must look at the whole library, not just
+    the declaring unit."""
+
+    def test_port_mapped_package_signal_is_not_unused(self):
+        assert lint_fixture("rpl003_xunit_clean.vhd") == []
+
+    def test_truly_unreferenced_package_signal_still_fires(self):
+        findings = lint_fixture("rpl003_xunit_bad.vhd")
+        assert [(d.code, d.message) for d in findings] == \
+            [("RPL003", "signal 'bus_s' is never used")]
+
+
 class TestRuleDetails:
     def test_rpl001_names_the_missing_signal(self):
         (diag,) = lint_fixture("rpl001_bad.vhd")

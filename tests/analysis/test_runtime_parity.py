@@ -75,3 +75,66 @@ class TestKernelSpanPlumbing:
         }
         assert lines["p1"] == 10
         assert lines["p2"] == 16
+
+
+class TestDesignScopeRaceParity:
+    """RPE002 is the design-scope (post-elaboration) twin of RPL002:
+    it must agree with the kernel on the pinned corpus designs —
+    error exactly where the kernel raises, resolved-bus note exactly
+    where the kernel runs clean."""
+
+    @staticmethod
+    def corpus_findings(name):
+        import os
+
+        from repro.analysis import build_netlist
+        from repro.gen.corpus import load_entry
+        from repro.vhdl.compiler import Compiler
+
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "gen", "corpus", name)
+        entry = load_entry(os.path.normpath(path))
+        compiler = Compiler()
+        result = compiler.compile(entry.source, entry.name + ".vhd")
+        assert result.ok, result.messages
+        elab = Elaborator(compiler.library)
+        sim = elab.elaborate(entry.top)
+        graph = build_netlist(sim.records)
+        findings = LintEngine(
+            library=compiler.library,
+            select=["RPE002"]).lint_design(graph)
+        return entry, compiler, findings
+
+    def test_unresolved_feedback_race_is_an_error(self):
+        entry, compiler, findings = self.corpus_findings(
+            "multidriver_feedback_stim.vhd")
+        assert entry.expect == "sim_error"
+        (race,) = findings
+        assert race.severity == "error"
+
+        # The kernel crashes on the same signal, citing the same
+        # declaration span the static finding is anchored to.
+        exc = simulate_until_error(compiler, entry.top)
+        assert "no resolution function" in str(exc)
+        assert race.span == exc.span
+
+    def test_resolved_same_instant_is_a_note_and_runs(self):
+        entry, compiler, findings = self.corpus_findings(
+            "resolved_same_instant.vhd")
+        assert entry.expect == "ok"
+        assert [d.severity for d in findings] == ["note"]
+        assert "resolved" in findings[0].message
+
+        elab = Elaborator(compiler.library)
+        sim = elab.elaborate(entry.top)
+        sim.run(until_fs=entry.until_ns * 1_000_000)  # must not raise
+
+    def test_resolved_bus_behind_config_is_a_note_and_runs(self):
+        entry, compiler, findings = self.corpus_findings(
+            "config_unit_resolved_bus.vhd")
+        assert entry.expect == "ok"
+        assert [d.severity for d in findings] == ["note"]
+
+        elab = Elaborator(compiler.library)
+        sim = elab.elaborate(entry.top)
+        sim.run(until_fs=entry.until_ns * 1_000_000)  # must not raise

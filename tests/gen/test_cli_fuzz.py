@@ -31,6 +31,22 @@ class TestFuzzCommand:
         assert env["kind"] == "fuzz-report"
         assert len(env["designs"]) == 4
 
+    def test_analyze_flag_keeps_sweep_clean_and_deterministic(self):
+        code, text = run_cli(
+            ["fuzz", "--seed", "7", "--budget", "6", "--analyze",
+             "--format", "json"])
+        assert code == 0
+        env = json.loads(text)
+        assert [d["outcome"] for d in env["designs"]] == ["ok"] * 6
+        # The analyzer leg must not perturb the design stream: the
+        # same seed without --analyze sees the same designs.
+        _, plain = run_cli(
+            ["fuzz", "--seed", "7", "--budget", "6",
+             "--format", "json"])
+        plain_env = json.loads(plain)
+        assert [d["features"] for d in env["designs"]] == \
+            [d["features"] for d in plain_env["designs"]]
+
     def test_bad_budget_is_usage_error(self):
         code, text = run_cli(["fuzz", "--budget", "0"])
         assert code == 2
@@ -61,7 +77,7 @@ class TestFuzzCommand:
                                                 monkeypatch):
         from repro.gen import runner as runner_mod
 
-        def fake_task(seed, index):
+        def fake_task(seed, index, analyze=False):
             from repro.gen import generate_for
             design = generate_for(seed, index)
             return {
@@ -87,14 +103,14 @@ class TestFuzzCommand:
         from repro.gen import runner as runner_mod
         real_check = runner_mod.check_design
 
-        def fake_check(design):
+        def fake_check(design, analyze=False):
             result = real_check(design)
             if "package" in design.features:
                 result.outcome = "divergence"
                 result.detail = "synthetic: package"
             return result
 
-        def fake_task(seed, index):
+        def fake_task(seed, index, analyze=False):
             from repro.gen import generate_for
             design = generate_for(seed, index)
             result = fake_check(design)

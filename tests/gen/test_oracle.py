@@ -173,3 +173,70 @@ class TestGeneratedSweep:
             if seen >= 3:
                 break
         assert seen, "no invalid injections in 120 designs"
+
+
+class TestAnalyzeLeg:
+    """The optional static-analysis leg of the oracle: the analyzer
+    must never crash on a generated design and must never claim a
+    combinational loop on a design both kernels ran to quiescence."""
+
+    def test_good_design_still_ok_with_analyze(self):
+        result = check_source(GOOD, "t", until_ns=200, analyze=True)
+        assert result.outcome == "ok"
+
+    def test_sim_error_wins_over_static_findings(self):
+        # The delta storm IS a comb loop statically, but the sweep
+        # outcome stays the kernel truth: both kernels hit the
+        # iteration limit, so the design is sim_error, not a
+        # static/dynamic divergence.
+        result = check_source(DELTA_STORM, "t", until_ns=50,
+                              analyze=True)
+        assert result.outcome == "sim_error"
+
+    def test_loop_on_quiescent_design_is_divergence(self):
+        # A comb loop whose processes never actually fire (no
+        # stimulus reaches it) quiesces dynamically; if the static
+        # analyzer still reports RPE001 the legs disagree and the
+        # oracle must say so.  Force the situation by faking the
+        # analyzer result.
+        from repro.gen import oracle as oracle_mod
+
+        class FakeDiag:
+            code = "RPE001"
+            message = "combinational loop through fake signals"
+
+        real = oracle_mod._analyze
+        oracle_mod._analyze = lambda library, top: [FakeDiag()]
+        try:
+            result = check_source(GOOD, "t", until_ns=100,
+                                  analyze=True)
+        finally:
+            oracle_mod._analyze = real
+        assert result.outcome == "divergence"
+        assert "static/dynamic divergence" in result.detail
+
+    def test_analyzer_crash_is_a_crash_outcome(self):
+        # _analyze wraps the flatten+rules stage: an exception there
+        # must surface as a crash outcome, not kill the sweep worker.
+        import repro.analysis as analysis_mod
+
+        def boom(records, top_path=None):
+            raise RuntimeError("analyzer exploded")
+
+        real = analysis_mod.build_netlist
+        analysis_mod.build_netlist = boom
+        try:
+            result = check_source(GOOD, "t", until_ns=100,
+                                  analyze=True)
+        finally:
+            analysis_mod.build_netlist = real
+        assert result.outcome == "crash"
+        assert "analyze raised" in result.detail
+        assert "analyzer exploded" in result.detail
+
+    def test_first_generated_designs_survive_analyze(self):
+        for i in range(10):
+            design = generate_for(1, i)
+            result = check_design(design, analyze=True)
+            assert not result.failed, (i, result.outcome,
+                                       result.detail)

@@ -221,6 +221,79 @@ class TestLintRoute:
         assert "findings_jsonl" in data
 
 
+LOOP_DESIGN = """
+entity inv is
+  port (a : in bit; b : out bit);
+end inv;
+architecture rtl of inv is
+begin
+  b <= not a;
+end rtl;
+
+entity looptop is
+end looptop;
+architecture top of looptop is
+  component inv
+    port (a : in bit; b : out bit);
+  end component;
+  signal x, y : bit;
+begin
+  u1 : inv port map (a => x, b => y);
+  u2 : inv port map (a => y, b => x);
+end top;
+"""
+
+
+class TestAnalyzeRoute:
+    def test_analyze_posted_files_finds_the_loop(self, app):
+        (resp,) = run(app, mkreq("POST", "/analyze", {
+            "files": [{"name": "loop.vhd", "text": LOOP_DESIGN}]}))
+        data = body_of(resp)
+        assert resp.status == 200
+        assert data["kind"] == "analyze"
+        assert data["ok"] is False
+        assert data["top"] == "looptop"
+        assert data["findings"] >= 1
+        codes = [json.loads(line)["code"] for line in
+                 data["findings_jsonl"].splitlines()]
+        assert "RPE001" in codes
+        assert data["levels"]["schema"] == "repro-levels/1"
+        assert data["levels"]["cyclic"] == \
+            [":looptop:x", ":looptop:y"]
+
+    def test_analyze_session_library(self, app):
+        run(app, mkreq("POST", "/compile", {
+            "session": "anlz",
+            "files": [{"name": "blink.vhd", "text": BLINK}]}))
+        (resp,) = run(app, mkreq("POST", "/analyze",
+                                 {"session": "anlz",
+                                  "top": "blink"}))
+        data = body_of(resp)
+        assert resp.status == 200
+        assert data["ok"] is True
+        assert "levels" in data
+
+    def test_analyze_without_files_needs_top(self, app):
+        (resp,) = run(app, mkreq("POST", "/analyze", {
+            "session": "anlz2"}))
+        data = body_of(resp)
+        assert data["ok"] is False
+        assert "top" in data["error"]
+
+    def test_analyze_select_filters_rules(self, app):
+        (resp,) = run(app, mkreq("POST", "/analyze", {
+            "files": [{"name": "loop.vhd", "text": LOOP_DESIGN}],
+            "select": ["RPE004"]}))
+        data = body_of(resp)
+        codes = {json.loads(line)["code"] for line in
+                 data["findings_jsonl"].splitlines()}
+        assert codes <= {"RPE004"}
+
+    def test_analyze_rejects_get(self, app):
+        (resp,) = run(app, mkreq("GET", "/analyze"))
+        assert resp.status == 405
+
+
 class TestDraining:
     def test_draining_rejects_new_jobs(self, app):
         app.draining = True
