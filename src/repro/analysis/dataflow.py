@@ -172,7 +172,10 @@ def levelize(graph):
 
     Returns ``(levels, eval_order, cyclic)`` where ``levels`` maps
     NetSignal to int, ``eval_order`` is the process order, and
-    ``cyclic`` is the set of loop-tainted signals excluded from both.
+    ``cyclic`` is the list of loop-tainted signals excluded from both,
+    deterministically sorted by ``Signal.index`` — the compiled
+    backend's calendar-fallback set must be byte-stable across runs,
+    and the ``repro-levels/1`` artifact emits it in this order.
     """
     cyclic = cyclic_signals(graph)
     comb_procs = [p for p in graph.processes if p.combinational]
@@ -228,7 +231,7 @@ def levelize(graph):
     eval_order.sort(key=lambda p: (
         max([levels.get(s, 0) for s in p.comb_inputs()] or [0]),
         p.index))
-    return levels, eval_order, cyclic
+    return levels, eval_order, sorted(cyclic, key=lambda s: s.index)
 
 
 def levels_artifact(graph):
@@ -247,7 +250,9 @@ def levels_artifact(graph):
             for level in sorted(by_level)
         ],
         "eval_order": [proc.path for proc in eval_order],
-        "cyclic": sorted(s.path for s in cyclic),
+        # Quarantine in Signal.index order (levelize sorts), not
+        # lexicographic: c10 must not precede c2.
+        "cyclic": [s.path for s in cyclic],
     }
 
 

@@ -208,6 +208,11 @@ def _make_parser():
                         "pre-flight; error-severity findings "
                         "(combinational loops, unresolved drive "
                         "races) abort before the kernel runs")
+    p.add_argument("--backend", default="event",
+                   choices=("event", "compiled", "scan"),
+                   help="simulation backend: the activity kernel "
+                        "(default), the per-design compiled backend, "
+                        "or the O(design) reference scan")
 
     p = sub.add_parser("stats", help="print the AG-statistics table")
     p.add_argument("--json", dest="as_json", action="store_true",
@@ -272,6 +277,11 @@ def _make_parser():
                         "every generated design: analyzer crashes "
                         "and RPE001 findings on quiescent designs "
                         "are sweep failures")
+    p.add_argument("--compiled", action="store_true",
+                   help="add the compiled backend as a third "
+                        "differential leg: every design must be "
+                        "byte-identical across Kernel, ScanKernel, "
+                        "and CompiledKernel")
 
     p = sub.add_parser(
         "bench-check",
@@ -867,7 +877,7 @@ def cmd_list(args, out):
 def cmd_simulate(args, out):
     from contextlib import nullcontext
 
-    from .sim import Kernel
+    from .sim import CompiledKernel, Kernel, ScanKernel
     from .sim.tracing import Tracer, format_fs
     from .vhdl.elaborate import Elaborator
 
@@ -886,8 +896,11 @@ def cmd_simulate(args, out):
     # Sampled kernel spans (every 100th timestep / resume) keep the
     # trace readable on long runs while still exposing the §2.2-style
     # where-did-the-time-go breakdown down to delta cycles.
-    kernel = Kernel(metrics=registry, trace=span_tracer,
-                    trace_sample=100)
+    backend = getattr(args, "backend", "event") or "event"
+    kernel_cls = {"event": Kernel, "compiled": CompiledKernel,
+                  "scan": ScanKernel}[backend]
+    kernel = kernel_cls(metrics=registry, trace=span_tracer,
+                        trace_sample=100)
     top = args.top
     compiler = None
     if top.endswith((".vhd", ".vhdl")) or os.path.isfile(top):
@@ -924,6 +937,7 @@ def cmd_simulate(args, out):
         with _span("elaborate"):
             elab = Elaborator(library, kernel=kernel)
             sim = elab.elaborate(top, arch_name=args.arch)
+        graph = None
         if args.analyze:
             # Pre-flight: the whole-design analyzer sees the same
             # elaborated hierarchy the kernel is about to run; an
@@ -947,6 +961,17 @@ def cmd_simulate(args, out):
                     "finding(s); not starting the kernel"
                     % len(blocking))
                 return 1
+        if backend == "compiled":
+            # Specialize before the first cycle; the --analyze
+            # pre-flight's DesignGraph (if any) is threaded through so
+            # the netlist is extracted exactly once.
+            with _span("codegen"):
+                kernel.compile_design(sim.records, graph=graph)
+            out("codegen: %d/%d process(es) compiled, %d slot "
+                "signal(s), %.1f ms"
+                % (kernel.compiled_procs, len(kernel.processes),
+                   kernel.slot_signals,
+                   kernel.codegen_seconds * 1e3))
         tracer = None
         if args.trace or args.vcd:
             signals = []
@@ -1087,7 +1112,7 @@ def cmd_fuzz(args, out):
     report = run_sweep(
         args.seed, args.budget, jobs=args.jobs,
         shrink_failures=args.shrink, metrics=registry,
-        analyze=args.analyze)
+        analyze=args.analyze, compiled=args.compiled)
 
     if args.format == "json":
         out(json.dumps(report.as_envelope(), indent=1,

@@ -3,8 +3,10 @@
 Every generated design goes through the full pipeline: compile into a
 fresh in-memory library, lint it, then elaborate and simulate it twice
 — once on the activity :class:`~repro.sim.kernel.Kernel`, once on the
-preserved O(design) :class:`~repro.sim.kernel.ScanKernel` — and the
-two runs must agree on *everything observable*: end time, cycle and
+preserved O(design) :class:`~repro.sim.kernel.ScanKernel` — and (with
+``compiled``) a third time on the specialized
+:class:`~repro.sim.compiled.CompiledKernel` backend — and the
+runs must agree on *everything observable*: end time, cycle and
 delta counts, every signal's final value, per-signal event and
 transaction counters, per-process resume counts, assertion report
 records, the rendered VCD bytes, and the bridged ``sim_*`` metric
@@ -36,6 +38,7 @@ import traceback
 
 from ..metrics import MetricsRegistry
 from ..metrics.bridge import bridge_kernel
+from ..sim.compiled import CompiledKernel
 from ..sim.kernel import Kernel, ScanKernel, SimulationError
 from ..sim.runtime import RuntimeError_
 from ..sim.tracing import Tracer
@@ -97,14 +100,15 @@ class CheckResult:
             self.outcome, ": " + self.detail if self.detail else "")
 
 
-def check_design(design, analyze=False):
+def check_design(design, analyze=False, compiled=False):
     """Run one :class:`~repro.gen.grammar.GeneratedDesign`."""
     return check_source(design.source, design.top,
-                        until_ns=design.until_ns, analyze=analyze)
+                        until_ns=design.until_ns, analyze=analyze,
+                        compiled=compiled)
 
 
 def check_source(source, top, until_ns=1000, filename="<gen>",
-                 analyze=False):
+                 analyze=False, compiled=False):
     """Compile → lint → differential-simulate one source text.
 
     With ``analyze`` the elaborated-design analyzer runs as an extra
@@ -112,6 +116,10 @@ def check_source(source, top, until_ns=1000, filename="<gen>",
     combinational-loop finding on a design both kernels simulate to
     quiescence is a ``divergence`` — the static claim (the design
     would delta-storm) contradicts the observed dynamics.
+
+    With ``compiled`` the specialized
+    :class:`~repro.sim.compiled.CompiledKernel` backend runs as a
+    third differential leg under the same byte-identity obligation.
     """
     library = LibraryManager(root=None)
     compiler = Compiler(library=library, strict=False)
@@ -161,29 +169,38 @@ def check_source(source, top, until_ns=1000, filename="<gen>",
 
     # -- differential simulation ---------------------------------------
     until_fs = until_ns * NS
-    cal = _simulate(Kernel, library, top, until_fs)
-    scan = _simulate(ScanKernel, library, top, until_fs)
+    legs = [("Kernel", _simulate(Kernel, library, top, until_fs)),
+            ("ScanKernel",
+             _simulate(ScanKernel, library, top, until_fs))]
+    if compiled:
+        legs.append(("CompiledKernel",
+                     _simulate(CompiledKernel, library, top, until_fs,
+                               compile_design=True)))
 
-    for side in (cal, scan):
+    for _name, side in legs:
         if side.get("crash"):
             return CheckResult("crash", detail=side["crash"],
                               lint_findings=len(findings))
 
-    if cal.get("error") or scan.get("error"):
-        if cal.get("error") == scan.get("error") and cal["error"]:
+    if any(side.get("error") for _name, side in legs):
+        errors = [side.get("error") for _name, side in legs]
+        if all(err == errors[0] for err in errors) and errors[0]:
             return CheckResult(
-                "sim_error", detail="%s: %s" % cal["error"],
+                "sim_error", detail="%s: %s" % errors[0],
                 lint_findings=len(findings))
         return CheckResult(
             "divergence",
-            detail="error asymmetry: Kernel=%r ScanKernel=%r"
-            % (cal.get("error"), scan.get("error")),
+            detail="error asymmetry: " + " ".join(
+                "%s=%r" % (name, side.get("error"))
+                for name, side in legs),
             lint_findings=len(findings))
 
-    mismatch = _compare(cal, scan)
-    if mismatch is not None:
-        return CheckResult("divergence", detail=mismatch,
-                          lint_findings=len(findings))
+    cal_name, cal = legs[0]
+    for other_name, other in legs[1:]:
+        mismatch = _compare(cal, other, cal_name, other_name)
+        if mismatch is not None:
+            return CheckResult("divergence", detail=mismatch,
+                              lint_findings=len(findings))
     if design_findings:
         loops = [d for d in design_findings if d.code == "RPE001"]
         if loops:
@@ -225,17 +242,22 @@ def _first_line(messages):
     return messages[0].splitlines()[0] if messages else ""
 
 
-def _simulate(kernel_cls, library, top, until_fs):
+def _simulate(kernel_cls, library, top, until_fs,
+              compile_design=False):
     """One side of the differential run; returns an observation dict.
 
     ``crash`` — raw traceback (harness failure).  ``error`` — a
     recognized dynamic error as ``(type_name, message)``.  Otherwise
-    the full observable state.
+    the full observable state.  With ``compile_design`` the kernel is
+    specialized from the elaborated records before the first cycle
+    (the compiled backend's extra step).
     """
     registry = MetricsRegistry()
     kernel = kernel_cls(metrics=registry)
     try:
         sim = Elaborator(library, kernel=kernel).elaborate(top)
+        if compile_design:
+            kernel.compile_design(sim.records)
         tracer = Tracer(kernel)
         sim.run(until_fs=until_fs, max_cycles=MAX_CYCLES)
     except _SIM_ERRORS as exc:
@@ -277,12 +299,13 @@ _COMPARE_KEYS = ("end", "cycles", "delta_cycles", "truncated",
                  "reports", "vcd", "metrics")
 
 
-def _compare(cal, scan):
+def _compare(cal, scan, cal_name="Kernel", scan_name="ScanKernel"):
     """First differing observable, or None when byte-identical."""
     for key in _COMPARE_KEYS:
         if cal[key] != scan[key]:
-            return "%s differ: Kernel=%s ScanKernel=%s" % (
-                key, _clip(cal[key]), _clip(scan[key]))
+            return "%s differ: %s=%s %s=%s" % (
+                key, cal_name, _clip(cal[key]),
+                scan_name, _clip(scan[key]))
     return None
 
 

@@ -37,7 +37,7 @@ LINE_BUCKETS = log125_buckets(1, 10**4)
 SHRINK_BUCKETS = log125_buckets(1, 10**4)
 
 
-def fuzz_task(seed, index, analyze=False):
+def fuzz_task(seed, index, analyze=False, compiled=False):
     """Generate + check design ``index``; picklable in, pickle out.
 
     When the submitter activated a span context (a traced sweep —
@@ -51,7 +51,7 @@ def fuzz_task(seed, index, analyze=False):
     design = generate_for(seed, index)
     ts_us = time.time() * 1e6
     t0 = time.perf_counter()
-    result = check_design(design, analyze=analyze)
+    result = check_design(design, analyze=analyze, compiled=compiled)
     seconds = time.perf_counter() - t0
     record = {
         "index": index,
@@ -132,13 +132,17 @@ class FuzzReport:
 
 def run_sweep(seed, budget, jobs=1, shrink_failures=True,
               metrics=None, max_shrink_evals=400, progress=None,
-              analyze=False):
+              analyze=False, compiled=False):
     """Check ``budget`` designs; returns a :class:`FuzzReport`.
 
-    ``analyze`` adds the elaborated-design analyzer as an oracle leg
-    (see :func:`repro.gen.oracle.check_source`); the flag is part of
+    ``analyze`` adds the elaborated-design analyzer as an oracle leg;
+    ``compiled`` adds the specialized
+    :class:`~repro.sim.compiled.CompiledKernel` as a third
+    differential simulation leg (see
+    :func:`repro.gen.oracle.check_source`).  Both flags are part of
     the task arguments, so jobs=N and serial sweeps stay
-    byte-identical for the same (seed, budget, analyze) triple.
+    byte-identical for the same (seed, budget, analyze, compiled)
+    tuple.
     """
     registry = metrics if metrics is not None else NULL_REGISTRY
     m_designs = registry.counter(
@@ -157,7 +161,8 @@ def run_sweep(seed, budget, jobs=1, shrink_failures=True,
     t0 = time.perf_counter()
     with ForkPool(jobs=jobs, on_error=_task_crash) as pool:
         records = pool.map_ordered(
-            fuzz_task, [(seed, i, analyze) for i in range(budget)])
+            fuzz_task,
+            [(seed, i, analyze, compiled) for i in range(budget)])
     for record in records:
         report.records.append(record)
         report.trace_events.extend(record.get("trace", ()))
@@ -168,7 +173,8 @@ def run_sweep(seed, budget, jobs=1, shrink_failures=True,
         m_seconds.observe(record["seconds"])
         if outcome in FAILURE_OUTCOMES:
             failure = _minimize(seed, record, shrink_failures,
-                                max_shrink_evals, analyze=analyze)
+                                max_shrink_evals, analyze=analyze,
+                                compiled=compiled)
             if failure.get("shrunk"):
                 report.shrunk += 1
                 m_shrink.observe(failure["shrink_evals"])
@@ -180,7 +186,7 @@ def run_sweep(seed, budget, jobs=1, shrink_failures=True,
 
 
 def _minimize(seed, record, shrink_failures, max_shrink_evals,
-              analyze=False):
+              analyze=False, compiled=False):
     """Shrink one failing design in the parent process."""
     index = record["index"]
     design = generate_for(seed, index)
@@ -193,9 +199,10 @@ def _minimize(seed, record, shrink_failures, max_shrink_evals,
         "source": design.source,
         "top": design.top,
         "until_ns": design.until_ns,
-        "replay": "repro fuzz --seed %d --budget %d%s"
+        "replay": "repro fuzz --seed %d --budget %d%s%s"
                   % (seed, index + 1,
-                     " --analyze" if analyze else ""),
+                     " --analyze" if analyze else "",
+                     " --compiled" if compiled else ""),
         "shrunk": False,
     }
     if not shrink_failures or not record["choices"]:
@@ -206,8 +213,8 @@ def _minimize(seed, record, shrink_failures, max_shrink_evals,
     def still_fails(choices):
         try:
             replayed = replay(choices, seed=seed, index=index)
-            return check_design(replayed,
-                                analyze=analyze).outcome == want
+            return check_design(replayed, analyze=analyze,
+                                compiled=compiled).outcome == want
         except Exception:
             return False
 

@@ -373,12 +373,65 @@ def _build_ring(kernel_cls, n=_RING_CELLS, tokens=_RING_TOKENS):
     return k
 
 
+def _ring_vhdl(n, tokens):
+    """The token ring as VHDL source (the compiled backend
+    specializes elaborated designs, so its axes need real source):
+    ``tokens`` evenly spaced starter cells use sensitivity-list
+    processes whose initialization run launches the token."""
+    stride = n // tokens
+    starters = frozenset(j * stride for j in range(tokens))
+    lines = ["entity ring is", "end ring;", "",
+             "architecture rtl of ring is"]
+    for i in range(n):
+        lines.append("  signal c_%d : integer := 0;" % i)
+    lines.append("begin")
+    for i in range(n):
+        j = (i + 1) % n
+        if i in starters:
+            lines.append(
+                "  p_%d: process (c_%d) begin "
+                "c_%d <= 1 - c_%d after 1 ns; end process;"
+                % (i, i, j, j))
+        else:
+            lines.append(
+                "  p_%d: process begin wait on c_%d; "
+                "c_%d <= 1 - c_%d after 1 ns; end process;"
+                % (i, i, j, j))
+    lines.append("end rtl;")
+    return "\n".join(lines)
+
+
+def _compile_vhdl_ring(n, tokens):
+    from ..vhdl.compiler import Compiler
+
+    compiler = Compiler(strict=False)
+    result = compiler.compile(_ring_vhdl(n, tokens),
+                              filename="ring.vhd")
+    if not result.ok:
+        raise RuntimeError("bench-check ring failed to compile: %s"
+                           % result.messages[:3])
+    return compiler.library
+
+
+#: Window for the compiled-backend axis of ``kernel_scaling`` — long
+#: enough that the run phase dominates elaboration noise.
+_RING_COMPILED_WINDOW_FS = 1000 * 10**6  # 1000 timesteps
+
+
 def scenario_kernel_scaling():
     """The activity-driven scheduler's gate: on a ~1%-active design
     the calendar kernel must stay >= 5x faster than the full-scan
     reference (``min`` check), with byte-identical semantics
-    (``exact`` counters) and a normalized absolute cost ceiling."""
-    from ..sim import Kernel, ScanKernel
+    (``exact`` counters) and a normalized absolute cost ceiling.
+
+    The backend axis rides along: the same ring as VHDL source, run
+    through the event kernel and the compiled backend — identical
+    counters (``exact``) and a ``min``-gated speedup, with cold
+    codegen reported separately in ``timings`` so the amortized
+    compile time cannot flatter the ratio."""
+    from ..sim import CompiledKernel, Kernel, ScanKernel
+    from ..sim.compiled import _PROGRAM_CACHE
+    from ..vhdl.elaborate import Elaborator
 
     def run_only(kernel_cls, repeats):
         best = None
@@ -406,6 +459,43 @@ def scenario_kernel_scaling():
         return k
 
     ratio, best, calib, kernel = normalized_cost(measure)
+
+    # -- the backend axis: event vs compiled on the VHDL ring --------
+    library = _compile_vhdl_ring(_RING_CELLS, _RING_TOKENS)
+
+    def vhdl_run(kernel_cls, repeats, compiled=False):
+        best_dt = None
+        best_k = None
+        codegen_s = 0.0
+        for _ in range(repeats):
+            k = kernel_cls()
+            sim = Elaborator(library, kernel=k).elaborate("ring")
+            if compiled:
+                t0 = time.perf_counter()
+                k.compile_design(sim.records)
+                codegen_s = max(codegen_s,
+                                time.perf_counter() - t0)
+            k.initialize()
+            t0 = time.perf_counter()
+            k.run(until=_RING_COMPILED_WINDOW_FS)
+            dt = time.perf_counter() - t0
+            if best_dt is None or dt < best_dt:
+                best_dt, best_k = dt, k
+        return best_dt, best_k, codegen_s
+
+    _PROGRAM_CACHE.clear()  # the first repeat pays codegen cold
+    event_s, k_ev, _ = vhdl_run(Kernel, repeats=3)
+    comp_s, k_co, codegen_cold_s = vhdl_run(
+        CompiledKernel, repeats=3, compiled=True)
+    if (k_ev.cycles, k_ev.delta_cycles) != \
+            (k_co.cycles, k_co.delta_cycles) \
+            or [s.value for s in k_ev.signals] != \
+            [s.value for s in k_co.signals] \
+            or [p.resumes for p in k_ev.processes] != \
+            [p.resumes for p in k_co.processes]:
+        raise RuntimeError(
+            "event and compiled backends diverged on the ring")
+
     registry = MetricsRegistry()
     from .bridge import bridge_kernel
 
@@ -421,6 +511,10 @@ def scenario_kernel_scaling():
         "fanout_visits": kernel.fanout_visits,
         "speedup_vs_scan": round(scan_s / cal_s, 1),
         "normalized_cost": round(ratio, 4),
+        "compiled_cycles": k_co.cycles,
+        "compiled_procs": k_co.compiled_procs,
+        "compiled_slot_signals": k_co.slot_signals,
+        "compiled_speedup_vs_event": round(event_s / comp_s, 2),
     }
     checks = {
         "cells": "exact",
@@ -432,11 +526,18 @@ def scenario_kernel_scaling():
         "fanout_visits": "exact",
         "speedup_vs_scan": "min",
         "normalized_cost": "max",
+        "compiled_cycles": "exact",
+        "compiled_procs": "exact",
+        "compiled_slot_signals": "exact",
+        "compiled_speedup_vs_event": "min",
     }
     timings = {"calendar_s": round(cal_s, 6),
                "scan_s": round(scan_s, 6),
                "run_s": round(best, 6),
-               "calibration_s": round(calib, 6)}
+               "calibration_s": round(calib, 6),
+               "codegen_cold_s": round(codegen_cold_s, 6),
+               "event_vhdl_s": round(event_s, 6),
+               "compiled_s": round(comp_s, 6)}
     # The per-signal / per-process labeled series are _RING_CELLS wide
     # here (1500 samples each); the gate only reads ``values``, so the
     # embedded snapshot keeps just the unlabeled aggregate families to
@@ -447,6 +548,108 @@ def scenario_kernel_scaling():
         if not any(s.get("labels") for s in fam["samples"])
     }
     return envelope("bench", bench="kernel_scaling", values=values,
+                    checks=checks, timings=timings, metrics=metrics)
+
+
+_COMPILED_CELLS = 400
+_COMPILED_TOKENS = 8  # 2% of cells active per timestep
+_COMPILED_WINDOW_FS = 2000 * 10**6  # 2000 timesteps
+
+
+def scenario_compiled_codegen():
+    """The cold half of the compiled backend's cost: with the program
+    cache cleared every repeat, elaborate the ring and specialize it.
+    The normalized cost pins the whole cold flow (``max``); structure
+    counters are ``exact`` — every process must compile and every
+    signal must get slot storage, or the specializer regressed."""
+    from ..sim import CompiledKernel
+    from ..sim.compiled import _PROGRAM_CACHE
+    from ..vhdl.elaborate import Elaborator
+
+    library = _compile_vhdl_ring(_COMPILED_CELLS, _COMPILED_TOKENS)
+
+    def measure():
+        _PROGRAM_CACHE.clear()
+        kernel = CompiledKernel()
+        sim = Elaborator(library, kernel=kernel).elaborate("ring")
+        kernel.compile_design(sim.records)
+        return kernel
+
+    ratio, best, calib, kernel = normalized_cost(measure, repeats=3)
+    values = {
+        "cells": _COMPILED_CELLS,
+        "compiled_procs": kernel.compiled_procs,
+        "slot_signals": kernel.slot_signals,
+        "programs_cached": len(_PROGRAM_CACHE),
+        "normalized_cost": round(ratio, 4),
+    }
+    checks = {
+        "cells": "exact",
+        "compiled_procs": "exact",
+        "slot_signals": "exact",
+        "programs_cached": "exact",
+        "normalized_cost": "max",
+    }
+    timings = {"cold_s": round(best, 6),
+               "codegen_s": round(kernel.codegen_seconds, 6),
+               "calibration_s": round(calib, 6)}
+    return envelope("bench", bench="compiled_codegen", values=values,
+                    checks=checks, timings=timings, metrics={})
+
+
+def scenario_compiled_warm():
+    """The warm half: with the program cache primed, each repeat is
+    elaborate + fingerprint-hit bind + run — the steady-state cost of
+    a repeat simulation, gated separately from codegen so neither can
+    hide behind the other.  Semantics counters are ``exact``, and
+    ``programs_cached`` staying at 1 across repeats proves the design
+    fingerprint is stable (a drifting fingerprint would grow the
+    cache and silently re-pay codegen)."""
+    from ..sim import CompiledKernel
+    from ..sim.compiled import _PROGRAM_CACHE
+    from ..vhdl.elaborate import Elaborator
+
+    library = _compile_vhdl_ring(_COMPILED_CELLS, _COMPILED_TOKENS)
+    _PROGRAM_CACHE.clear()
+
+    def measure():
+        kernel = CompiledKernel()
+        sim = Elaborator(library, kernel=kernel).elaborate("ring")
+        kernel.compile_design(sim.records)
+        kernel.run(until=_COMPILED_WINDOW_FS)
+        return kernel
+
+    measure()  # prime the cache: every timed repeat binds warm
+    ratio, best, calib, kernel = normalized_cost(measure, repeats=3)
+    registry = MetricsRegistry()
+    from .bridge import bridge_kernel
+
+    bridge_kernel(registry, kernel)
+    values = {
+        "cells": _COMPILED_CELLS,
+        "tokens": _COMPILED_TOKENS,
+        "cycles": kernel.cycles,
+        "delta_cycles": kernel.delta_cycles,
+        "process_resumes": sum(
+            p.resumes for p in kernel.processes),
+        "signal_events": sum(s.events for s in kernel.signals),
+        "levelized_evals": kernel.levelized_evals,
+        "compiled_procs": kernel.compiled_procs,
+        "slot_signals": kernel.slot_signals,
+        "programs_cached": len(_PROGRAM_CACHE),
+        "normalized_cost": round(ratio, 4),
+    }
+    checks = {key: "exact" for key in values}
+    checks["normalized_cost"] = "max"
+    timings = {"warm_s": round(best, 6),
+               "bind_s": round(kernel.codegen_seconds, 6),
+               "calibration_s": round(calib, 6)}
+    metrics = {
+        name: fam
+        for name, fam in registry.snapshot()["metrics"].items()
+        if not any(s.get("labels") for s in fam["samples"])
+    }
+    return envelope("bench", bench="compiled_warm", values=values,
                     checks=checks, timings=timings, metrics=metrics)
 
 
@@ -770,6 +973,8 @@ SCENARIOS = {
     "lint": scenario_lint,
     "analysis": scenario_analysis,
     "kernel_scaling": scenario_kernel_scaling,
+    "compiled_codegen": scenario_compiled_codegen,
+    "compiled_warm": scenario_compiled_warm,
     "serve": scenario_serve,
     "fuzz": scenario_fuzz,
     "trace": scenario_trace,

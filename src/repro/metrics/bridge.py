@@ -74,6 +74,28 @@ def bridge_kernel(registry, kernel):
         "sim_calendar_fanout_visits_total",
         "waiting-process visits through the signal fanout "
         "index").set_total(getattr(kernel, "fanout_visits", 0))
+    # -- compiled backend (repro.sim.compiled).  Emitted only for a
+    # CompiledKernel, so the event/scan snapshots stay unchanged —
+    # and, like sim_calendar_*, these describe the scheduler, not the
+    # simulated design, so the differential oracle ignores them.
+    if getattr(kernel, "program", None) is not None:
+        registry.gauge(
+            "sim_codegen_seconds",
+            "wall-clock spent specializing this design (cold cost; "
+            "zero after a fingerprint cache hit would still bind)"
+        ).set(kernel.codegen_seconds)
+        registry.gauge(
+            "sim_compiled_procs",
+            "processes dispatched as specialized plain functions"
+        ).set(kernel.compiled_procs)
+        registry.gauge(
+            "sim_compiled_slot_signals",
+            "signals with flat-slot storage (no Driver objects)"
+        ).set(kernel.slot_signals)
+        registry.counter(
+            "sim_levelized_evals_total",
+            "slot-signal updates evaluated outside the event "
+            "calendar").set_total(kernel.levelized_evals)
     return registry
 
 

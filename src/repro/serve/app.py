@@ -302,10 +302,14 @@ class ServeApp:
             until_fs = _parse_time(str(until))
         except (ValueError, IndexError):
             raise HTTPError(400, "bad 'until' value %r" % (until,))
+        backend = body.get("backend", "event")
+        if backend not in ("event", "compiled", "scan"):
+            raise HTTPError(400, "bad 'backend' value %r (one of: "
+                            "event, compiled, scan)" % (backend,))
         ws = self._workspace(body)
         result = await self.jobs.simulate(
             ws, top, arch=body.get("arch"), until_fs=until_fs,
-            lib=body.get("lib"))
+            lib=body.get("lib"), backend=backend)
         return Response.json(result)
 
     def _trace(self, request):

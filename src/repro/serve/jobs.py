@@ -302,9 +302,11 @@ class JobRunner:
     # -- simulate ----------------------------------------------------------
 
     async def simulate(self, workspace, top, arch=None, until_fs=None,
-                       lib=None):
+                       lib=None, backend="event"):
         """Elaborate + run against a pinned snapshot of the session
-        library; concurrent with other readers and with writers."""
+        library; concurrent with other readers and with writers.
+        ``backend`` selects the kernel: ``event`` (default),
+        ``compiled`` (per-design specialized code), or ``scan``."""
         loop = asyncio.get_running_loop()
         job_id = self.next_id()
         ctx = current_context()
@@ -313,7 +315,7 @@ class JobRunner:
         try:
             result = await loop.run_in_executor(
                 self.executor, self._run_sim, workspace, top, arch,
-                until_fs, lib, ctx)
+                until_fs, lib, ctx, backend)
         finally:
             self._m_jobs.labels(kind="sim").inc()
             self._job_finished()
@@ -326,8 +328,10 @@ class JobRunner:
         }
         return result
 
-    def _run_sim(self, workspace, top, arch, until_fs, lib, ctx=None):
-        from ..sim import Kernel, SimulationError
+    def _run_sim(self, workspace, top, arch, until_fs, lib, ctx=None,
+                 backend="event"):
+        from ..sim import CompiledKernel, Kernel, ScanKernel, \
+            SimulationError
         from ..vhdl.elaborate import ElaborationError, Elaborator
 
         snapshot = workspace.snapshot()
@@ -339,14 +343,19 @@ class JobRunner:
         # A traced kernel samples timestep / process-resume spans; the
         # ambient context during ``run()`` (the kernel_run phase) is
         # what they parent into.
-        kernel = Kernel(trace=tracer,
-                        trace_sample=self.sim_trace_sample)
+        kernel_cls = {"event": Kernel, "compiled": CompiledKernel,
+                      "scan": ScanKernel}[backend]
+        kernel = kernel_cls(trace=tracer,
+                            trace_sample=self.sim_trace_sample)
         try:
             with use(ctx), _maybe_phase(tracer, "sim", cat="serve",
                                         top=top):
                 with _maybe_phase(tracer, "elaborate", cat="serve"):
                     elab = Elaborator(snapshot, kernel=kernel)
                     sim = elab.elaborate(top, arch_name=arch, lib=lib)
+                if backend == "compiled":
+                    with _maybe_phase(tracer, "codegen", cat="serve"):
+                        kernel.compile_design(sim.records)
                 with _maybe_phase(tracer, "kernel_run", cat="serve"):
                     end = sim.run(until_fs=until_fs)
         except (ElaborationError, SimulationError) as exc:
@@ -362,9 +371,10 @@ class JobRunner:
         if tracer is not None:
             self.trace.add_events(tracer.events)
         lines = _sim_lines(kernel, sim.names, end)
-        return {
+        result = {
             "ok": True,
             "top": top,
+            "backend": backend,
             "end_fs": end,
             "cycles": kernel.cycles,
             "delta_cycles": kernel.delta_cycles,
@@ -377,6 +387,13 @@ class JobRunner:
             "diagnostics_jsonl": render_jsonl(
                 snapshot.quarantine_diagnostics()),
         }
+        if backend == "compiled":
+            result["codegen"] = {
+                "seconds": round(kernel.codegen_seconds, 6),
+                "compiled_procs": kernel.compiled_procs,
+                "slot_signals": kernel.slot_signals,
+            }
+        return result
 
     # -- lint --------------------------------------------------------------
 

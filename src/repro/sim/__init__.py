@@ -7,6 +7,10 @@
   semantics, delta cycles, activity-driven process scheduling (event
   calendar + signal fanout index; :class:`~repro.sim.kernel.ScanKernel`
   keeps the full-scan reference scheduler for differential testing).
+- :mod:`repro.sim.compiled` / :mod:`repro.sim.codegen` — the compiled
+  backend: per-design specialized code (flat signal storage, direct
+  process dispatch, calendar-bypassing slot updates), byte-identical
+  to the event kernel.
 - :mod:`repro.sim.signals` — signals, drivers, projected output
   waveforms, preemption, bus resolution.
 - :mod:`repro.sim.process` — processes and wait conditions.
@@ -20,11 +24,13 @@
 """
 
 from .kernel import Kernel, ScanKernel, SimulationError
+from .compiled import CompiledKernel
 from .signals import Signal
 from .runtime import VArray, VRecord, ops
 from .nameserver import NameServer
 
 __all__ = [
+    "CompiledKernel",
     "Kernel",
     "NameServer",
     "ScanKernel",

@@ -152,6 +152,7 @@ class Kernel:
         """
         proc = Process(name, generator_fn(), sensitivity=sensitivity,
                        decl_line=line)
+        proc.fn = generator_fn
         proc.kernel = self
         proc.index = len(self.processes)  # registration order
         self.processes.append(proc)

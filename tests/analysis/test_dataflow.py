@@ -260,7 +260,7 @@ class TestLevelization:
     def test_levels_topologically_sort_the_comb_edges(self):
         graph = graph_for(CLOCKED_CHAIN, "chain")
         levels, order, cyclic = levelize(graph)
-        assert cyclic == set()
+        assert cyclic == []
         for src, dst, _proc in graph.comb_edges():
             assert levels[dst] > levels[src], (src.path, dst.path)
 

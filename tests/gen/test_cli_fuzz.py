@@ -77,7 +77,7 @@ class TestFuzzCommand:
                                                 monkeypatch):
         from repro.gen import runner as runner_mod
 
-        def fake_task(seed, index, analyze=False):
+        def fake_task(seed, index, analyze=False, compiled=False):
             from repro.gen import generate_for
             design = generate_for(seed, index)
             return {
@@ -103,14 +103,14 @@ class TestFuzzCommand:
         from repro.gen import runner as runner_mod
         real_check = runner_mod.check_design
 
-        def fake_check(design, analyze=False):
+        def fake_check(design, analyze=False, compiled=False):
             result = real_check(design)
             if "package" in design.features:
                 result.outcome = "divergence"
                 result.detail = "synthetic: package"
             return result
 
-        def fake_task(seed, index, analyze=False):
+        def fake_task(seed, index, analyze=False, compiled=False):
             from repro.gen import generate_for
             design = generate_for(seed, index)
             result = fake_check(design)

@@ -73,7 +73,7 @@ class TestFailurePath:
         # runner must shrink it and report both forms.
         real_check = runner_mod.check_design
 
-        def fake_check(design, analyze=False):
+        def fake_check(design, analyze=False, compiled=False):
             result = real_check(design)
             if "mid" in design.features:
                 result.outcome = "divergence"
@@ -82,7 +82,7 @@ class TestFailurePath:
 
         monkeypatch.setattr(runner_mod, "check_design", fake_check)
 
-        def fake_task(seed, index, analyze=False):
+        def fake_task(seed, index, analyze=False, compiled=False):
             from repro.gen import generate_for
             design = generate_for(seed, index)
             result = fake_check(design)
@@ -111,7 +111,7 @@ class TestFailurePath:
         assert snap["fuzz_shrink_evals"]["samples"][0]["count"] >= 1
 
     def test_no_shrink_reports_raw_failure(self, monkeypatch):
-        def fake_task(seed, index, analyze=False):
+        def fake_task(seed, index, analyze=False, compiled=False):
             return {
                 "index": index, "outcome": "crash",
                 "detail": "synthetic crash", "features": [],
@@ -135,7 +135,7 @@ class TestFailurePath:
     def test_flaky_failure_reported_unshrunk(self, monkeypatch):
         # The sweep sees a failure, but replaying never reproduces
         # it: the runner must fall back to the unshrunk report.
-        def fake_task(seed, index, analyze=False):
+        def fake_task(seed, index, analyze=False, compiled=False):
             return {
                 "index": index, "outcome": "divergence",
                 "detail": "flaky", "features": [],

@@ -200,6 +200,47 @@ class TestSimRoute:
         assert data["report_lines"][0].startswith(
             "simulation stopped at 25 ns")
 
+    # ``wait on`` (not ``wait for``): timeout waits stay generic, so
+    # this variant actually exercises the specialized dispatch.
+    TICKER = """
+    entity blink is end blink;
+    architecture rtl of blink is
+      signal led : bit := '0';
+    begin
+      process
+      begin
+        led <= not led after 10 ns;
+        wait on led;
+      end process;
+    end rtl;
+    """
+
+    def test_sim_backend_compiled(self, app):
+        run(app, mkreq("POST", "/compile", {
+            "session": "sc", "files": [
+                {"name": "blink.vhd", "text": self.TICKER}]}))
+        event, compiled = run(
+            app,
+            mkreq("POST", "/sim", {"session": "sc", "top": "blink",
+                                   "until": "25ns"}),
+            mkreq("POST", "/sim", {"session": "sc", "top": "blink",
+                                   "until": "25ns",
+                                   "backend": "compiled"}))
+        ev, co = body_of(event), body_of(compiled)
+        assert ev["ok"] and co["ok"]
+        assert ev["backend"] == "event"
+        assert co["backend"] == "compiled"
+        assert co["codegen"]["compiled_procs"] >= 1
+        # Semantics are backend-independent.
+        assert co["cycles"] == ev["cycles"]
+        assert co["delta_cycles"] == ev["delta_cycles"]
+
+    def test_sim_bad_backend(self, app):
+        (resp,) = run(app, mkreq("POST", "/sim",
+                                 {"top": "x",
+                                  "backend": "turbo"}))
+        assert resp.status == 400
+
 
 class TestLintRoute:
     def test_lint_posted_files(self, app):
